@@ -1,0 +1,176 @@
+package otif_test
+
+// Benchmarks, one per table and figure of the paper's evaluation (§4).
+// Each benchmark drives the same harness as cmd/benchtables on a reduced
+// dataset subset so `go test -bench=.` completes on a laptop; run
+// `go run ./cmd/benchtables -all` for the full seven-dataset regeneration.
+//
+// The reported ns/op measure harness wall time; the *paper-relevant*
+// numbers (simulated runtimes, accuracies, speedup ratios) are attached
+// with b.ReportMetric so the benchmark output doubles as a results table.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"otif/internal/bench"
+	"otif/internal/dataset"
+)
+
+// benchSpec keeps benchmark iterations affordable; runtimes are scaled to
+// the paper's one-hour sets by the harness.
+var benchSpec = dataset.SetSpec{Clips: 4, ClipSeconds: 6}
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+func sharedSuite() *bench.Suite {
+	suiteOnce.Do(func() { suite = bench.NewSuite(benchSpec, 7) })
+	return suite
+}
+
+// BenchmarkTable2 regenerates Table 2 (track-query runtimes of OTIF vs the
+// five detect/track baselines) on a two-dataset subset and reports the
+// headline ratios.
+func BenchmarkTable2(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2(io.Discard, []string{"caldot1", "warsaw"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vsMiris1, vsMiris5 float64
+		n := 0
+		for _, row := range rows {
+			o, okO := row.OneQuery["OTIF"]
+			m, okM := row.OneQuery["Miris"]
+			if !okO || !okM || o == 0 {
+				continue
+			}
+			vsMiris1 += m / o
+			vsMiris5 += row.FiveQ["Miris"] / row.FiveQ["OTIF"]
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(vsMiris1/float64(n), "speedup-vs-miris-1q")
+			b.ReportMetric(vsMiris5/float64(n), "speedup-vs-miris-5q")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the speed-accuracy curves behind Figure 5
+// on one dataset, reporting OTIF's curve span.
+func BenchmarkFigure5(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		curves, err := s.Figure5(io.Discard, []string{"caldot1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves["caldot1"] {
+			if c.Method != "OTIF" || len(c.Points) == 0 {
+				continue
+			}
+			slow := c.Points[0].Runtime
+			fast := slow
+			for _, p := range c.Points {
+				if p.Runtime < fast {
+					fast = p.Runtime
+				}
+				if p.Runtime > slow {
+					slow = p.Runtime
+				}
+			}
+			if fast > 0 {
+				b.ReportMetric(slow/fast, "otif-curve-span-x")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the frame-level limit query comparison
+// (OTIF vs BlazeIt vs TASTI) on two of the six queries.
+func BenchmarkTable3(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Table3(io.Discard, []string{"caldot1", "warsaw"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		otif5 := res.PreprocessTime["OTIF"] + 5*res.QueryTime["OTIF"]
+		blaze5 := 5 * (res.PreprocessTime["BlazeIt"] + res.QueryTime["BlazeIt"])
+		if otif5 > 0 {
+			b.ReportMetric(blaze5/otif5, "speedup-vs-blazeit-5q")
+		}
+		b.ReportMetric(res.Accuracy["OTIF"]*100, "otif-accuracy-pct")
+	}
+}
+
+// BenchmarkFigure6 regenerates the cost breakdown on Caldot1 and reports
+// the execution detect/decode split.
+func BenchmarkFigure6(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure6(io.Discard, "caldot1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != nil {
+			b.ReportMetric(res.Execution["detect"], "exec-detect-s")
+			b.ReportMetric(res.Execution["decode"], "exec-decode-s")
+			b.ReportMetric(res.Preprocessing["train-detector"], "pre-train-detector-s")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the ablation study on Caldot1.
+func BenchmarkTable4(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table4(io.Discard, []string{"caldot1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 4 {
+			b.ReportMetric(rows[0].Runtime["caldot1"], "detector-only-s")
+			b.ReportMetric(rows[3].Runtime["caldot1"], "full-otif-s")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the segmentation proxy model analysis.
+func BenchmarkFigure7(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		left, right, err := s.Figure7(io.Discard, "caldot1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var yoloBest, proxyBest float64
+		for _, p := range left {
+			if p.Method == "yolo" && p.MAP > yoloBest {
+				yoloBest = p.MAP
+			}
+			if p.Method == "proxy-k3" && p.MAP > proxyBest {
+				proxyBest = p.MAP
+			}
+		}
+		b.ReportMetric(yoloBest, "yolo-best-mAP")
+		b.ReportMetric(proxyBest, "proxy-k3-mAP")
+		if len(right) > 0 {
+			b.ReportMetric(float64(len(right)), "pr-curves")
+		}
+	}
+}
+
+// BenchmarkValidate regenerates the §4.6 implementation validation.
+func BenchmarkValidate(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		res := s.Validate(io.Discard)
+		b.ReportMetric(res.ProxySeconds, "proxy-33h-s")
+	}
+}

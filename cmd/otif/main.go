@@ -1,0 +1,163 @@
+// Command otif runs the OTIF pipeline end to end on one simulated dataset:
+// it trains the models, tunes the speed-accuracy curve, extracts all tracks
+// from the test set with a chosen configuration, and answers a few queries
+// from the stored tracks.
+//
+//	otif -dataset caldot1                 # full workflow, fastest-within-5% config
+//	otif -dataset tokyo -tolerance 0.02   # pick a more accurate configuration
+//	otif -dataset jackson -curve          # print the whole tuned curve and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"otif"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "caldot1", "dataset name (see -list)")
+		list    = flag.Bool("list", false, "list datasets and exit")
+		curve   = flag.Bool("curve", false, "print the tuned speed-accuracy curve and exit")
+		tol     = flag.Float64("tolerance", 0.05, "accuracy tolerance when picking the execution configuration")
+		clips   = flag.Int("clips", 0, "clips per set (0 = default)")
+		seconds = flag.Float64("seconds", 0, "seconds per clip (0 = default)")
+		saveTo  = flag.String("save", "", "save the trained model bundle to this file")
+		loadFm  = flag.String("load", "", "load a trained model bundle instead of training")
+		tracksF = flag.String("tracks", "", "write the extracted track set to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range otif.Datasets() {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	start := time.Now()
+	pipe, err := otif.Open(*name, otif.Options{ClipsPerSet: *clips, ClipSeconds: *seconds})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
+	if *loadFm != "" {
+		f, err := os.Open(*loadFm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		if err := pipe.LoadModels(f); err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("loaded model bundle from %s (wall %v)\n", *loadFm, time.Since(start).Round(time.Millisecond))
+	} else {
+		best := pipe.Train()
+		fmt.Printf("theta_best: %v   (wall %v)\n", best, time.Since(start).Round(time.Millisecond))
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		if err := pipe.SaveModels(f); err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("saved model bundle to", *saveTo)
+	}
+
+	points := pipe.Tune()
+	fmt.Println("speed-accuracy curve (validation, simulated seconds):")
+	for _, p := range points {
+		fmt.Printf("  %-55v rt=%8.2fs acc=%.3f\n", p.Cfg, p.Runtime, p.Accuracy)
+	}
+	if *curve {
+		return
+	}
+
+	pick := otif.PickFastestWithin(points, *tol)
+	fmt.Printf("\nexecuting with %v\n", pick.Cfg)
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
+	acc, err := pipe.Accuracy(ts, otif.Test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("test-set extraction: %.2f simulated s, accuracy %.3f (wall %v)\n",
+		ts.Runtime, acc, time.Since(start).Round(time.Millisecond))
+	if *tracksF != "" {
+		f, err := os.Create(*tracksF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		if n, err := ts.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		} else {
+			fmt.Printf("stored tracks in %s (%d bytes)\n", *tracksF, n)
+		}
+		f.Close()
+	}
+
+	// A few exploratory queries over the stored tracks.
+	counts := ts.CountTracks("car")
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("\nqueries over stored tracks (no further decoding or inference):\n")
+	fmt.Printf("  unique cars per clip: %v (total %d)\n", counts, total)
+
+	if movements := pipe.Movements(); len(movements) > 0 {
+		agg := map[string]int{}
+		for _, m := range ts.PathBreakdown("car", movements, 0.22*float64(pipe.System().DS.Cfg.NomW)) {
+			for k, v := range m {
+				agg[k] += v
+			}
+		}
+		keys := make([]string, 0, len(agg))
+		for k := range agg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  path breakdown:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, agg[k])
+		}
+		fmt.Println()
+	}
+
+	braking := ts.HardBraking(250)
+	nb := 0
+	for _, b := range braking {
+		nb += len(b)
+	}
+	fmt.Printf("  hard-braking tracks (decel >= 250 px/s^2): %d\n", nb)
+	avg := ts.AvgVisible("car")
+	fmt.Printf("  average visible cars per clip: %v\n", fmt.Sprintf("%.1f...", mean(avg)))
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

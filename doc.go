@@ -1,0 +1,34 @@
+// Package otif is a Go implementation of OTIF ("Efficient Tracker
+// Pre-processing over Large Video Datasets", Bastani & Madden, SIGMOD
+// 2022): a video pre-processor that extracts all object tracks from large
+// video datasets as fast as video query optimizers can answer a single
+// query, so that arbitrary detection/track queries afterwards run in
+// milliseconds over the stored tracks.
+//
+// The pipeline integrates three techniques under one joint parameter
+// tuner:
+//
+//   - a segmentation proxy model that finds the regions of each frame that
+//     contain objects, so the expensive detector runs only inside small
+//     windows drawn from a pre-selected window-size set;
+//   - a recurrent reduced-rate tracker that associates detections across
+//     large sampling gaps using multi-frame motion context, with endpoint
+//     refinement from clustered training tracks;
+//   - a greedy tuner that explores detector architecture/resolution, proxy
+//     resolution/threshold, and sampling gap to produce a speed-accuracy
+//     curve approximating the Pareto frontier.
+//
+// # Quick start
+//
+//	pipe, err := otif.Open("caldot1", otif.Options{})
+//	if err != nil { ... }
+//	pipe.Train()                    // theta_best, proxies, trackers, refiner
+//	curve := pipe.Tune()            // speed-accuracy curve on validation set
+//	cfg := otif.PickFastestWithin(curve, 0.05)
+//	ts := pipe.Extract(cfg.Config, otif.Test)
+//	counts := ts.PathBreakdown("car")
+//
+// GPU inference and real video are replaced by a deterministic simulation
+// substrate (see DESIGN.md); all runtimes the library reports are simulated
+// V100/Xeon seconds from a calibrated cost model.
+package otif

@@ -1,0 +1,3 @@
+module otif
+
+go 1.22

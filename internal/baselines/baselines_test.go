@@ -1,0 +1,255 @@
+package baselines
+
+import (
+	"testing"
+
+	"otif/internal/core"
+	"otif/internal/dataset"
+	"otif/internal/query"
+	"otif/internal/tuner"
+)
+
+var cachedSys *core.System
+var cachedMetric core.Metric
+
+func trainedSystem(t *testing.T) (*core.System, core.Metric) {
+	t.Helper()
+	if cachedSys != nil {
+		return cachedSys, cachedMetric
+	}
+	ds, err := dataset.Build("caldot1", dataset.SetSpec{Clips: 3, ClipSeconds: 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(ds)
+	metric := core.MetricFor(ds)
+	best, _ := tuner.SelectBest(sys, metric)
+	sys.FinishTraining(best, 42)
+	cachedSys, cachedMetric = sys, metric
+	return sys, metric
+}
+
+func TestAllBaselinesProduceCandidates(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	for _, m := range All() {
+		cands := m.Tune(sys, metric)
+		if len(cands) == 0 {
+			t.Errorf("%s produced no candidates", m.Name())
+			continue
+		}
+		for _, c := range cands {
+			if c.ValRuntime <= 0 {
+				t.Errorf("%s candidate %s has zero runtime", m.Name(), c.Label)
+			}
+			if c.ValAccuracy < 0 || c.ValAccuracy > 1 {
+				t.Errorf("%s candidate %s accuracy out of range: %v", m.Name(), c.Label, c.ValAccuracy)
+			}
+		}
+		// Candidates run on a fresh set.
+		res := cands[0].Run(sys.DS.Test)
+		if res.Runtime <= 0 {
+			t.Errorf("%s test run has zero runtime", m.Name())
+		}
+	}
+}
+
+func TestMirisIsQueryDriven(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	cands := NewMiris().Tune(sys, metric)
+	for _, c := range cands {
+		if c.QueryFraction != 1 {
+			t.Errorf("Miris QueryFraction = %v, want 1 (per-query execution)", c.QueryFraction)
+		}
+	}
+}
+
+func TestMirisRefinementExtendsTracks(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	m := NewMiris()
+	cands := m.Tune(sys, metric)
+	// Reasonable accuracy: refinement should let even a gap-8 candidate
+	// classify paths.
+	bestAcc := 0.0
+	for _, c := range cands {
+		if c.ValAccuracy > bestAcc {
+			bestAcc = c.ValAccuracy
+		}
+	}
+	if bestAcc < 0.5 {
+		t.Errorf("Miris best accuracy = %v, suspiciously low", bestAcc)
+	}
+}
+
+func TestChameleonCandidatesGetFaster(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	cands := NewChameleon().Tune(sys, metric)
+	if len(cands) < 2 {
+		t.Fatalf("chameleon produced %d candidates", len(cands))
+	}
+	if cands[len(cands)-1].ValRuntime >= cands[0].ValRuntime {
+		t.Error("hill climbing should find faster configurations")
+	}
+}
+
+func TestNoScopeThresholdZeroEqualsFullDetection(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	ns := NewNoScope()
+	cands := ns.Tune(sys, metric)
+	// Threshold 0 processes everything -> best accuracy of the sweep.
+	first := cands[0]
+	for _, c := range cands[1:] {
+		if c.ValAccuracy > first.ValAccuracy+0.1 {
+			t.Errorf("higher threshold (%s) beat full detection by a lot", c.Label)
+		}
+	}
+	// The extreme threshold should be cheaper than full detection.
+	last := cands[len(cands)-1]
+	if last.ValRuntime >= first.ValRuntime {
+		t.Error("skipping frames must reduce runtime")
+	}
+}
+
+func TestCenterTrackPerformsPoorlyAtReducedRate(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	ct := NewCenterTrack()
+	cands := ct.Tune(sys, metric)
+	// Find its best native-rate accuracy and its best gap-4 accuracy;
+	// without gap augmentation the reduced-rate accuracy should drop.
+	var nativeBest, gap4Best float64
+	for _, c := range cands {
+		switch {
+		case hasSuffix(c.Label, "-g1"):
+			if c.ValAccuracy > nativeBest {
+				nativeBest = c.ValAccuracy
+			}
+		case hasSuffix(c.Label, "-g4"):
+			if c.ValAccuracy > gap4Best {
+				gap4Best = c.ValAccuracy
+			}
+		}
+	}
+	if nativeBest == 0 {
+		t.Fatal("no native-rate candidates")
+	}
+	if gap4Best > nativeBest+0.05 {
+		t.Errorf("native-rate tracker unexpectedly better at gap 4 (%v vs %v)", gap4Best, nativeBest)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func TestEvalCandidates(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	cands := NewNoScope().Tune(sys, metric)[:2]
+	pts := EvalCandidates(cands, sys.DS.Test, metric)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Runtime <= 0 {
+			t.Error("zero test runtime")
+		}
+	}
+}
+
+func TestFrameQueryMachinery(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	q := FrameQuery{
+		Name: "count", Category: "car",
+		Pred:  query.CountPredicate{N: 1},
+		Limit: 3, MinSepSec: 1,
+	}
+	ct := sys.DS.Val[0]
+	matched := false
+	for f := 0; f < ct.Clip.Len(); f++ {
+		if TruthSatisfies(ct, q, f) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Skip("no cars in clip")
+	}
+	refs := []frameRef{{0, 0}, {0, 5}, {0, 100}, {1, 0}}
+	out := selectSeparated(refs, 3, 50)
+	if len(out) != 3 {
+		t.Fatalf("selectSeparated = %v", out)
+	}
+	// (0,5) conflicts with (0,0) at separation 50.
+	for _, r := range out {
+		if r == (frameRef{0, 5}) {
+			t.Error("separation not enforced")
+		}
+	}
+}
+
+func TestBlazeItFrameQuery(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	q := FrameQuery{
+		Name: "count", Category: "car",
+		Pred:  query.CountPredicate{N: 2},
+		Limit: 3, MinSepSec: 2,
+	}
+	res := NewBlazeIt().RunFrameQuery(sys, q, sys.DS.Test)
+	if res.PreprocessTime <= 0 {
+		t.Error("BlazeIt pre-processing must cost something")
+	}
+	if res.Returned > q.Limit {
+		t.Error("limit exceeded")
+	}
+	if res.Returned > 0 && res.Accuracy < 0.3 {
+		t.Errorf("BlazeIt accuracy = %v, suspiciously low", res.Accuracy)
+	}
+}
+
+func TestTASTIFrameQueryAndEmbeddingReuse(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	q := FrameQuery{
+		Name: "count", Category: "car",
+		Pred:  query.CountPredicate{N: 2},
+		Limit: 3, MinSepSec: 2,
+	}
+	ta := NewTASTI()
+	emb, pre := ta.Embeddings(sys, sys.DS.Test)
+	if pre <= 0 {
+		t.Fatal("embedding pass must cost something")
+	}
+	res := ta.RunFrameQuery(sys, q, sys.DS.Test, emb, pre)
+	if res.PreprocessTime != pre {
+		t.Error("reused embeddings should keep the given pre-processing time")
+	}
+	if res.Returned > q.Limit {
+		t.Error("limit exceeded")
+	}
+	if res.DetectorApps <= 0 {
+		t.Error("TASTI must apply the detector at query time")
+	}
+}
+
+func TestOTIFFramesReusesTracks(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	cfg := sys.Best
+	cfg.Gap = 2
+	of := NewOTIFFrames(cfg)
+	q := FrameQuery{
+		Name: "count", Category: "car",
+		Pred:  query.CountPredicate{N: 1},
+		Limit: 3, MinSepSec: 2,
+	}
+	r1 := of.RunFrameQuery(sys, q, sys.DS.Test)
+	if r1.PreprocessTime <= 0 {
+		t.Fatal("OTIF pre-processing should cost something")
+	}
+	// Second query: no new pre-processing, tiny query time.
+	q2 := q
+	q2.Pred = query.CountPredicate{N: 2}
+	r2 := of.RunFrameQuery(sys, q2, sys.DS.Test)
+	if r2.PreprocessTime != r1.PreprocessTime {
+		t.Error("tracks must be reused across queries")
+	}
+	if r2.QueryTime >= r1.PreprocessTime/10 {
+		t.Errorf("query time %v should be far below pre-processing %v", r2.QueryTime, r1.PreprocessTime)
+	}
+}

@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"fmt"
+
+	"otif/internal/core"
+	"otif/internal/dataset"
+	"otif/internal/detect"
+	"otif/internal/tuner"
+)
+
+// Chameleon is our implementation of the Chameleon video analytics
+// adaptation system (Jiang et al., SIGCOMM 2018): it hill-climbs over the
+// detector knobs — architecture, input resolution, and sampling framerate —
+// to find profitable configurations, but has neither a segmentation proxy
+// model nor a learned reduced-rate tracker (it uses the heuristic tracker),
+// so its framerate reductions are limited by how quickly IoU-based
+// association breaks down.
+type Chameleon struct {
+	// Gaps are the framerate-reduction candidates Chameleon explores.
+	Gaps []int
+}
+
+// NewChameleon returns the Chameleon baseline.
+func NewChameleon() *Chameleon { return &Chameleon{Gaps: []int{1, 2, 4}} }
+
+// Name implements TrackMethod.
+func (c *Chameleon) Name() string { return "Chameleon" }
+
+// Tune implements TrackMethod: a hill-climbing sweep over (architecture,
+// resolution, framerate) with the heuristic tracker. Starting from the
+// most expensive configuration, it repeatedly applies the single knob
+// change with the best accuracy-per-speedup ratio, emitting each visited
+// configuration as a candidate — Chameleon's periodic profiling phase,
+// condensed to the per-dataset tuning the evaluation measures.
+func (c *Chameleon) Tune(sys *core.System, metric core.Metric) []Candidate {
+	type knob struct {
+		arch  detect.Arch
+		scale float64
+		gap   int
+	}
+	cur := knob{detect.ArchRCNN, core.DetScaleLadder[0], 1}
+	eval := func(k knob) (Candidate, tuner.Point) {
+		cfg := core.Config{
+			Arch: k.arch, DetScale: k.scale, DetConf: core.DetConfDefault,
+			Gap: k.gap, Tracker: core.TrackerSORT,
+		}
+		run := func(clips []*dataset.ClipTruth) *core.SetResult {
+			return sys.RunSet(cfg, clips)
+		}
+		res := run(sys.DS.Val)
+		p := tuner.Point{Cfg: cfg, Runtime: res.Runtime, Accuracy: metric.Accuracy(res.PerClip, sys.DS.Val)}
+		return Candidate{
+			Label:       fmt.Sprintf("cham-%s@%.2f-g%d", k.arch, k.scale, k.gap),
+			Run:         run,
+			ValAccuracy: p.Accuracy,
+			ValRuntime:  p.Runtime,
+		}, p
+	}
+
+	cand, p := eval(cur)
+	out := []Candidate{cand}
+	curPoint := p
+	for iter := 0; iter < 10; iter++ {
+		// Neighbor moves: next architecture, next resolution step, next
+		// framerate step.
+		var moves []knob
+		if cur.arch == detect.ArchRCNN {
+			moves = append(moves, knob{detect.ArchYOLO, cur.scale, cur.gap})
+		}
+		if i := scaleIndex(cur.scale); i+1 < len(core.DetScaleLadder) {
+			moves = append(moves, knob{cur.arch, core.DetScaleLadder[i+1], cur.gap})
+		}
+		if i := gapIndex(c.Gaps, cur.gap); i+1 < len(c.Gaps) {
+			moves = append(moves, knob{cur.arch, cur.scale, c.Gaps[i+1]})
+		}
+		if len(moves) == 0 {
+			break
+		}
+		bestRatio := -1.0
+		var bestKnob knob
+		var bestCand Candidate
+		var bestPoint tuner.Point
+		for _, mv := range moves {
+			cand, p := eval(mv)
+			speedup := curPoint.Runtime - p.Runtime
+			if speedup <= 0 {
+				continue
+			}
+			// Accuracy retained per unit of speedup.
+			ratio := (1 + p.Accuracy - curPoint.Accuracy) / 1
+			if ratio > bestRatio {
+				bestRatio = ratio
+				bestKnob = mv
+				bestCand = cand
+				bestPoint = p
+			}
+		}
+		if bestRatio < 0 {
+			break
+		}
+		cur = bestKnob
+		curPoint = bestPoint
+		out = append(out, bestCand)
+	}
+	return out
+}
+
+func scaleIndex(scale float64) int {
+	for i, s := range core.DetScaleLadder {
+		if s == scale {
+			return i
+		}
+	}
+	return len(core.DetScaleLadder) - 1
+}
+
+func gapIndex(gaps []int, g int) int {
+	for i, v := range gaps {
+		if v == g {
+			return i
+		}
+	}
+	return len(gaps) - 1
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"otif/internal/core"
+	"otif/internal/costmodel"
+	"otif/internal/dataset"
+	"otif/internal/query"
+)
+
+// OTIFFrames answers frame-level limit queries by post-processing the
+// tracks OTIF extracted in its single pre-processing pass. The tracks are
+// query-agnostic, so additional queries cost only the (milliseconds-scale)
+// track scan — the central claim of §4.2.
+type OTIFFrames struct {
+	// Cfg is the pipeline configuration used for pre-processing (the
+	// fastest configuration within 5% of best track-query accuracy).
+	Cfg core.Config
+
+	tracksPerClip [][]*query.Track
+	preprocess    float64
+}
+
+// NewOTIFFrames wraps a tuned OTIF configuration.
+func NewOTIFFrames(cfg core.Config) *OTIFFrames { return &OTIFFrames{Cfg: cfg} }
+
+// Preprocess extracts all tracks once; the result is reused by every
+// subsequent query.
+func (o *OTIFFrames) Preprocess(sys *core.System, clips []*dataset.ClipTruth) {
+	res := sys.RunSet(o.Cfg, clips)
+	o.tracksPerClip = res.PerClip
+	o.preprocess = res.Runtime
+}
+
+// RunFrameQuery answers one limit query from the stored tracks. Query cost
+// is the track-scan cost: a per-(frame, visible-track) charge that lands
+// around a simulated second per query on paper-sized sets, matching the
+// sub-second to second-scale latencies of Table 3.
+func (o *OTIFFrames) RunFrameQuery(sys *core.System, q FrameQuery, clips []*dataset.ClipTruth) FrameLevelResult {
+	if o.tracksPerClip == nil {
+		o.Preprocess(sys, clips)
+	}
+	acct := costmodel.NewAccountant()
+	ctx := sys.Ctx()
+	minSep := int(q.MinSepSec * float64(ctx.FPS))
+
+	// Gather per-clip matches ranked by the minimum duration of their
+	// visible tracks (§4.2), then interleave clips preserving rank order.
+	type ranked struct {
+		ref frameRef
+		dur int
+	}
+	var cands []ranked
+	for ci, tracks := range o.tracksPerClip {
+		ctx.Frames = clips[ci].Clip.Len()
+		acct.Add(costmodel.OpQuery, perFrameScanCost*float64(ctx.Frames)*float64(1+len(tracks)))
+		for _, m := range query.LimitQuery(tracks, q.Category, q.Pred, ctx, q.Limit, minSep) {
+			cands = append(cands, ranked{frameRef{ci, m.FrameIdx}, m.MinDuration})
+		}
+	}
+	// Sort by duration descending (stable on clip/frame for determinism).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dur > cands[j-1].dur; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	refs := make([]frameRef, len(cands))
+	for i, c := range cands {
+		refs[i] = c.ref
+	}
+	outputs := selectSeparated(refs, q.Limit, minSep)
+
+	return FrameLevelResult{
+		PreprocessTime: o.preprocess,
+		QueryTime:      acct.Total(),
+		Accuracy:       measureAccuracy(clips, q, outputs),
+		Returned:       len(outputs),
+	}
+}
+
+// perFrameScanCost is the simulated cost of evaluating one frame of one
+// track during query post-processing (pure CPU work over in-memory
+// tracks).
+const perFrameScanCost = 2e-7

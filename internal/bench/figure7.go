@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"io"
+
+	"otif/internal/core"
+	"otif/internal/costmodel"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/metrics"
+	"otif/internal/proxy"
+)
+
+// Figure7Left is one point of Figure 7 (left): detection speed vs mAP@50
+// for YOLO alone at varying resolutions, and for YOLO + the segmentation
+// proxy model with k window sizes.
+type Figure7Left struct {
+	Method  string // "yolo" or "proxy-k<N>"
+	Runtime float64
+	MAP     float64
+}
+
+// Figure7Right is one proxy precision-recall curve at one input
+// resolution.
+type Figure7Right struct {
+	Resolution [2]int
+	Points     []metrics.PRPoint
+}
+
+// Figure7 regenerates both panels of Figure 7 on the given dataset
+// (Caldot1 in the paper), evaluating mAP@50 on sampled ground-truth frames
+// (the paper hand-labels 50 frames; the simulator's oracle provides them).
+func (s *Suite) Figure7(w io.Writer, name string) ([]Figure7Left, []Figure7Right, error) {
+	if name == "" {
+		name = "caldot1"
+	}
+	t, err := s.System(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := t.Sys
+	cfg := sys.DS.Cfg
+
+	// Sample evaluation frames with ground truth.
+	type evalFrame struct {
+		clip, frame int
+		truth       []geom.Rect
+	}
+	var frames []evalFrame
+	for ci, ct := range sys.DS.Test {
+		for f := 0; f < ct.Clip.Len() && len(frames) < 50; f += ct.Clip.Len()/7 + 1 {
+			var boxes []geom.Rect
+			for _, gt := range ct.Truth(f) {
+				boxes = append(boxes, gt.Box)
+			}
+			frames = append(frames, evalFrame{ci, f, boxes})
+		}
+	}
+
+	evalDetector := func(d *detect.Detector, windowsFor func(frameIdx, clip int) []geom.Rect) (float64, float64) {
+		acct := costmodel.NewAccountant()
+		d.Acct = acct
+		dets := make([][]metrics.ScoredBox, len(frames))
+		truths := make([][]geom.Rect, len(frames))
+		for i, ef := range frames {
+			frame := sys.DS.Test[ef.clip].Clip.Frame(ef.frame)
+			var found []detect.Detection
+			if windowsFor != nil {
+				wins := windowsFor(ef.frame, ef.clip)
+				if len(wins) > 0 {
+					found = d.DetectWindows(frame, ef.frame, wins)
+				}
+			} else {
+				found = d.Detect(frame, ef.frame)
+			}
+			for _, det := range found {
+				dets[i] = append(dets[i], metrics.ScoredBox{Box: det.Box, Score: det.Score})
+			}
+			truths[i] = ef.truth
+		}
+		perFrame := acct.Get(costmodel.OpDetect) / float64(len(frames))
+		return perFrame, metrics.APAt50(dets, truths)
+	}
+
+	var left []Figure7Left
+	// YOLO alone at each resolution.
+	for _, scale := range []float64{1.0, 0.7, 0.49, 0.34, 0.24} {
+		det := &detect.Detector{
+			Cfg: detect.Config{
+				Arch:  detect.ArchYOLO,
+				Width: int(float64(cfg.NomW) * scale), Height: int(float64(cfg.NomH) * scale),
+				ConfThresh: 0.15,
+			},
+			Background: sys.Background,
+			Classify:   sys.Classifier,
+		}
+		rt, mAP := evalDetector(det, nil)
+		left = append(left, Figure7Left{Method: "yolo", Runtime: rt, MAP: mAP})
+	}
+
+	// YOLO + proxy with k window sizes, k in {1, 2, 3, 4}; k = 1 means
+	// full-frame only (equivalent to the detector alone).
+	detsPerFrame := bestBoxesPerFrame(sys)
+	for _, k := range []int{2, 3, 4} {
+		ws := proxy.SelectWindowSizes(cfg.NomW, cfg.NomH, k,
+			detect.ArchYOLO.PerPixelCost(), 0.7, detsPerFrame)
+		pm := sys.Proxies[1]
+		det := &detect.Detector{
+			Cfg: detect.Config{
+				Arch:  detect.ArchYOLO,
+				Width: int(float64(cfg.NomW) * 0.7), Height: int(float64(cfg.NomH) * 0.7),
+				ConfThresh: 0.15,
+			},
+			Background: sys.Background,
+			Classify:   sys.Classifier,
+		}
+		rt, mAP := evalDetector(det, func(frameIdx, clip int) []geom.Rect {
+			frame := sys.DS.Test[clip].Clip.Frame(frameIdx)
+			scores := pm.Score(frame, sys.Background, costmodel.NewAccountant())
+			grid := proxy.Threshold(cfg.NomW, cfg.NomH, scores, 0.35)
+			return proxy.Group(grid, ws)
+		})
+		rt += costmodel.ProxyCost(pm.ResW, pm.ResH)
+		left = append(left, Figure7Left{Method: figLabel(k), Runtime: rt, MAP: mAP})
+	}
+
+	// Right panel: per-cell precision-recall per proxy resolution.
+	var right []Figure7Right
+	thresholds := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.97}
+	for _, pm := range sys.Proxies {
+		var scores []float64
+		var labels []bool
+		for _, ef := range frames {
+			frame := sys.DS.Test[ef.clip].Clip.Frame(ef.frame)
+			cellScores := pm.Score(frame, sys.Background, costmodel.NewAccountant())
+			truth := proxy.TruthGrid(cfg.NomW, cfg.NomH, ef.truth)
+			for i, sc := range cellScores {
+				scores = append(scores, sc)
+				labels = append(labels, truth.Pos[i])
+			}
+		}
+		right = append(right, Figure7Right{
+			Resolution: [2]int{pm.ResW, pm.ResH},
+			Points:     metrics.PRCurve(scores, labels, thresholds),
+		})
+	}
+
+	fprintf(w, "Figure 7 (left) [%s]: per-frame detector time vs mAP@50\n", name)
+	for _, p := range left {
+		fprintf(w, "  %-9s rt=%.5fs mAP=%.3f\n", p.Method, p.Runtime, p.MAP)
+	}
+	fprintf(w, "Figure 7 (right): proxy per-cell precision/recall by input resolution\n")
+	for _, r := range right {
+		fprintf(w, "  %dx%d:", r.Resolution[0], r.Resolution[1])
+		for _, p := range r.Points {
+			fprintf(w, " (p=%.2f r=%.2f)", p.Precision, p.Recall)
+		}
+		fprintf(w, "\n")
+	}
+	return left, right, nil
+}
+
+func figLabel(k int) string {
+	return "proxy-k" + string(rune('0'+k))
+}
+
+// bestBoxesPerFrame gathers theta_best detections per training frame (from
+// the S* tracks) for window-size selection.
+func bestBoxesPerFrame(sys *core.System) [][]geom.Rect {
+	var out [][]geom.Rect
+	for _, tracks := range sys.SStar {
+		byFrame := map[int][]geom.Rect{}
+		for _, t := range tracks {
+			for _, d := range t.Dets {
+				byFrame[d.FrameIdx] = append(byFrame[d.FrameIdx], d.Box)
+			}
+		}
+		for _, boxes := range byFrame {
+			out = append(out, boxes)
+		}
+	}
+	return out
+}

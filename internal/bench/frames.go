@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"otif/internal/baselines"
+	"otif/internal/geom"
+	"otif/internal/query"
+	"otif/internal/tuner"
+)
+
+// Table3Result aggregates the frame-level limit query comparison (Table 3):
+// per-method average pre-processing, query, and total time, plus accuracy,
+// for one and five queries.
+type Table3Result struct {
+	PreprocessTime map[string]float64
+	QueryTime      map[string]float64
+	Accuracy       map[string]float64
+	DetectorApps   map[string]float64
+}
+
+// frameQueryDatasets lists Table 3's six (dataset, query-type) pairs:
+// count queries on UAV and Tokyo, region queries on Jackson and Caldot1,
+// hot spot queries on Warsaw and Amsterdam (§4.2).
+var frameQueryDatasets = []struct {
+	ds   string
+	kind string
+}{
+	{"uav", "count"},
+	{"tokyo", "count"},
+	{"jackson", "region"},
+	{"caldot1", "region"},
+	{"warsaw", "hotspot"},
+	{"amsterdam", "hotspot"},
+}
+
+// buildFrameQuery constructs the query for one dataset, choosing N so the
+// predicate is selective but satisfiable (the paper sets parameters so
+// fewer than 250 five-second segments match).
+func buildFrameQuery(t *trained, kind string) baselines.FrameQuery {
+	nomW := float64(t.Sys.DS.Cfg.NomW)
+	nomH := float64(t.Sys.DS.Cfg.NomH)
+	q := baselines.FrameQuery{
+		Name:      kind,
+		Category:  "car",
+		Limit:     8,
+		MinSepSec: 5,
+	}
+	makePred := func(n int) query.FramePredicate {
+		switch kind {
+		case "region":
+			region := geom.Polygon{
+				{X: nomW * 0.25, Y: nomH * 0.25},
+				{X: nomW * 0.75, Y: nomH * 0.25},
+				{X: nomW * 0.75, Y: nomH * 0.75},
+				{X: nomW * 0.25, Y: nomH * 0.75},
+			}
+			return query.RegionPredicate{Region: region, N: n}
+		case "hotspot":
+			return query.HotSpotPredicate{Radius: nomW * 0.18, N: n}
+		default:
+			return query.CountPredicate{N: n}
+		}
+	}
+	// Choose the largest N with at least Limit ground-truth matching
+	// frames on the validation set.
+	clips := t.Sys.DS.Val
+	for n := 6; n >= 1; n-- {
+		q.Pred = makePred(n)
+		matches := 0
+		for _, ct := range clips {
+			for f := 0; f < ct.Clip.Len(); f += 3 {
+				if baselines.TruthSatisfies(ct, q, f) {
+					matches++
+				}
+			}
+		}
+		if matches >= q.Limit*3 {
+			return q
+		}
+	}
+	q.Pred = makePred(1)
+	return q
+}
+
+// Table3 regenerates Table 3: OTIF vs BlazeIt vs TASTI on the six
+// frame-level limit queries, averaged. Runtimes are scaled to paper-sized
+// sets. nQueries drives the five-query estimate (BlazeIt repeats its
+// query-specific proxy pass; TASTI reuses embeddings; OTIF reuses tracks).
+func (s *Suite) Table3(w io.Writer, datasets []string) (*Table3Result, error) {
+	pairs := frameQueryDatasets
+	if len(datasets) > 0 {
+		var filtered []struct{ ds, kind string }
+		for _, p := range pairs {
+			for _, d := range datasets {
+				if p.ds == d {
+					filtered = append(filtered, struct{ ds, kind string }{p.ds, p.kind})
+				}
+			}
+		}
+		pairs = nil
+		for _, f := range filtered {
+			pairs = append(pairs, struct {
+				ds   string
+				kind string
+			}{f.ds, f.kind})
+		}
+	}
+	scale := s.EquivScale()
+	res := &Table3Result{
+		PreprocessTime: map[string]float64{},
+		QueryTime:      map[string]float64{},
+		Accuracy:       map[string]float64{},
+		DetectorApps:   map[string]float64{},
+	}
+	n := 0
+	for _, pair := range pairs {
+		t, err := s.System(pair.ds)
+		if err != nil {
+			return nil, err
+		}
+		q := buildFrameQuery(t, pair.kind)
+		clips := t.Sys.DS.Test
+
+		// OTIF: pre-process with the same configuration Table 2 selects —
+		// the fastest test-curve point within the accuracy band (§4.2 uses
+		// "the same configurations as the ones from Table 2").
+		pt, ok := tuner.FastestWithin(testPointsOTIF(t), Table2Tol)
+		if !ok {
+			return nil, fmt.Errorf("bench: no tuned configuration for %s", pair.ds)
+		}
+		otif := baselines.NewOTIFFrames(pt.Cfg)
+		ro := otif.RunFrameQuery(t.Sys, q, clips)
+		accumulate(res, "OTIF", ro)
+
+		blaze := baselines.NewBlazeIt()
+		rb := blaze.RunFrameQuery(t.Sys, q, clips)
+		accumulate(res, "BlazeIt", rb)
+
+		tasti := baselines.NewTASTI()
+		rt := tasti.RunFrameQuery(t.Sys, q, clips, nil, 0)
+		accumulate(res, "TASTI", rt)
+
+		fprintf(w, "[%s %s] N-query=%v  OTIF(pre=%.0f q=%.2f acc=%.2f)  BlazeIt(pre=%.0f q=%.1f acc=%.2f apps=%d)  TASTI(pre=%.0f q=%.1f acc=%.2f apps=%d)\n",
+			pair.ds, pair.kind, q.Name,
+			ro.PreprocessTime*scale, ro.QueryTime*scale, ro.Accuracy,
+			rb.PreprocessTime*scale, rb.QueryTime*scale, rb.Accuracy, rb.DetectorApps,
+			rt.PreprocessTime*scale, rt.QueryTime*scale, rt.Accuracy, rt.DetectorApps)
+		n++
+	}
+	if n == 0 {
+		return res, nil
+	}
+	for _, m := range []string{"OTIF", "BlazeIt", "TASTI"} {
+		res.PreprocessTime[m] = res.PreprocessTime[m] / float64(n) * scale
+		res.QueryTime[m] = res.QueryTime[m] / float64(n) * scale
+		res.Accuracy[m] /= float64(n)
+		res.DetectorApps[m] /= float64(n)
+	}
+
+	fprintf(w, "\nTable 3 (averages over %d queries, scaled seconds):\n", n)
+	fprintf(w, "%-28s %8s %8s %8s\n", "", "OTIF", "BlazeIt", "TASTI")
+	fprintf(w, "%-28s %8.0f %8.0f %8.0f\n", "Avg pre-processing time", res.PreprocessTime["OTIF"], res.PreprocessTime["BlazeIt"], res.PreprocessTime["TASTI"])
+	fprintf(w, "%-28s %8.2f %8.1f %8.1f\n", "Avg query time", res.QueryTime["OTIF"], res.QueryTime["BlazeIt"], res.QueryTime["TASTI"])
+	one := func(m string, pre float64) float64 { return pre + res.QueryTime[m] }
+	fprintf(w, "%-28s %8.0f %8.0f %8.0f\n", "Avg total time (1 query)",
+		one("OTIF", res.PreprocessTime["OTIF"]),
+		one("BlazeIt", res.PreprocessTime["BlazeIt"]),
+		one("TASTI", res.PreprocessTime["TASTI"]))
+	// Five queries: BlazeIt's proxy pass is query-specific and repeats;
+	// OTIF's tracks and TASTI's embeddings are reusable.
+	fprintf(w, "%-28s %8.0f %8.0f %8.0f\n", "Avg total time (5 queries)",
+		res.PreprocessTime["OTIF"]+5*res.QueryTime["OTIF"],
+		5*(res.PreprocessTime["BlazeIt"]+res.QueryTime["BlazeIt"]),
+		res.PreprocessTime["TASTI"]+5*res.QueryTime["TASTI"])
+	fprintf(w, "%-28s %7.0f%% %7.0f%% %7.0f%%\n", "Avg accuracy",
+		res.Accuracy["OTIF"]*100, res.Accuracy["BlazeIt"]*100, res.Accuracy["TASTI"]*100)
+	fprintf(w, "%-28s %8.0f %8.0f %8.0f\n", "Avg detector applications",
+		res.DetectorApps["OTIF"], res.DetectorApps["BlazeIt"], res.DetectorApps["TASTI"])
+	return res, nil
+}
+
+func accumulate(res *Table3Result, m string, r baselines.FrameLevelResult) {
+	res.PreprocessTime[m] += r.PreprocessTime
+	res.QueryTime[m] += r.QueryTime
+	res.Accuracy[m] += r.Accuracy
+	res.DetectorApps[m] += float64(r.DetectorApps)
+}

@@ -1,0 +1,117 @@
+// Package core is OTIF's execution pipeline: it wires the segmentation
+// proxy model, object detector and reduced-rate tracker (Figure 2 of the
+// paper) into a single configurable pipeline, owns the trained artifacts
+// (background model, proxy models, window sizes, tracking models, endpoint
+// refiner), and executes parameter configurations over clip sets while
+// charging simulated cost. The parameter tuner (internal/tuner) drives this
+// package to produce speed-accuracy curves.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"otif/internal/detect"
+)
+
+// TrackerKind selects the tracking method of a configuration.
+type TrackerKind string
+
+// Tracker choices.
+const (
+	TrackerSORT      TrackerKind = "sort"
+	TrackerRecurrent TrackerKind = "recurrent"
+	TrackerPair      TrackerKind = "pair"
+)
+
+// Config is one OTIF parameter configuration theta (§3.5): detector
+// architecture, input resolution and confidence threshold; proxy model
+// resolution index and threshold B_proxy; tracker sampling gap g.
+type Config struct {
+	// Detection module.
+	Arch     detect.Arch
+	DetScale float64 // detector input resolution as a fraction of nominal
+	DetConf  float64 // detection confidence threshold
+
+	// Proxy model module.
+	UseProxy    bool
+	ProxyIdx    int     // which trained proxy resolution to use
+	ProxyThresh float64 // B_proxy
+
+	// Tracking module.
+	Gap     int // sampling gap g: process 1 in every Gap frames
+	Tracker TrackerKind
+	// VariableGap enables the Miris-style variable-rate policy: the gap
+	// shrinks after low-confidence association rounds and grows back
+	// toward Gap after confident ones. The paper found this comparable
+	// to a fixed gap with the recurrent model (§3.4); the ablation
+	// harness reproduces that comparison.
+	VariableGap bool
+
+	// Refine enables endpoint refinement on fixed-camera datasets.
+	Refine bool
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	p := "-"
+	if c.UseProxy {
+		p = fmt.Sprintf("p%d@%.2f", c.ProxyIdx, c.ProxyThresh)
+	}
+	return fmt.Sprintf("%s@%.2f conf=%.2f proxy=%s g=%d %s",
+		c.Arch, c.DetScale, c.DetConf, p, c.Gap, c.Tracker)
+}
+
+// DetRes returns the detector input resolution in nominal pixels for a
+// frame of the given nominal size.
+func (c Config) DetRes(nomW, nomH int) (int, int) {
+	w := int(float64(nomW)*c.DetScale + 0.5)
+	h := int(float64(nomH)*c.DetScale + 0.5)
+	if w < 16 {
+		w = 16
+	}
+	if h < 16 {
+		h = 16
+	}
+	return w, h
+}
+
+// DetScaleLadder is the descending sequence of detector resolution
+// fractions the tuner explores. Each step reduces pixel count by ~30%
+// (linear factor sqrt(0.7)), matching the paper's tuning coarseness C.
+var DetScaleLadder = buildScaleLadder(7)
+
+func buildScaleLadder(n int) []float64 {
+	out := make([]float64, n)
+	f := 1.0
+	for i := 0; i < n; i++ {
+		out[i] = f
+		f *= math.Sqrt(0.7)
+	}
+	return out
+}
+
+// GapLadder is the sequence of sampling gaps G = <1, 2, ..., 2^n> (§3.4).
+var GapLadder = []int{1, 2, 4, 8, 16, 32}
+
+// ProxyThreshLadder is the set of proxy confidence thresholds the tuner
+// considers for B_proxy.
+var ProxyThreshLadder = []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}
+
+// DetConfDefault is the default detection confidence threshold.
+const DetConfDefault = 0.25
+
+// NextGapForSpeedup returns the sampling gap reaching roughly a speedup of
+// c over gap g: divide the frames processed by (1-c) and round up to the
+// next power of two (§3.5.3).
+func NextGapForSpeedup(g int, c float64) int {
+	target := float64(g) / (1 - c)
+	next := g
+	for float64(next) < target {
+		next *= 2
+	}
+	if next > GapLadder[len(GapLadder)-1] {
+		next = GapLadder[len(GapLadder)-1]
+	}
+	return next
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"otif/internal/nn"
+	"otif/internal/track"
+)
+
+// ProbeStats summarizes matcher behaviour at one sampling gap (debug aid).
+type ProbeStats struct {
+	PosMean, NegMean float64
+	PosAcc, NegAcc   float64
+	N                int
+}
+
+// ProbeMatcher scores the trained recurrent matcher on held-out
+// positive/negative pairs derived from S*, per sampling gap.
+func ProbeMatcher(s *System) map[int]ProbeStats {
+	out := map[int]ProbeStats{}
+	for _, gap := range []int{1, 4, 8, 16} {
+		var posSum, negSum float64
+		var posOK, negOK, nPos, nNeg int
+		for ci, tracks := range s.SStar {
+			_ = ci
+			for _, t := range tracks {
+				dets := track.SubSampleAtGap(t.Dets, gap)
+				if len(dets) < 3 {
+					continue
+				}
+				for split := 1; split < len(dets)-1; split++ {
+					prefix := dets[:split]
+					target := dets[split]
+					feats := make([]nn.Vec, len(prefix))
+					for i, d := range prefix {
+						el := 0
+						if i > 0 {
+							el = d.FrameIdx - prefix[i-1].FrameIdx
+						}
+						feats[i] = track.DetFeatures(d, s.DS.Cfg.NomW, s.DS.Cfg.NomH, s.DS.Cfg.FPS, el)
+					}
+					h, _ := s.Recurrent.GRU.RunSequence(feats)
+					tf := track.DetFeatures(target, s.DS.Cfg.NomW, s.DS.Cfg.NomH, s.DS.Cfg.FPS, target.FrameIdx-prefix[len(prefix)-1].FrameIdx)
+					mo := track.MotionFeatures(prefix, target, s.DS.Cfg.NomW, s.DS.Cfg.NomH)
+					p := s.Recurrent.Score(h, tf, mo)
+					posSum += p
+					nPos++
+					if p >= 0.5 {
+						posOK++
+					}
+					// negatives: other tracks' dets near target frame
+					for _, o := range tracks {
+						if o == t || len(o.Dets) == 0 {
+							continue
+						}
+						for _, d := range o.Dets {
+							if d.FrameIdx == target.FrameIdx {
+								nf := track.DetFeatures(d, s.DS.Cfg.NomW, s.DS.Cfg.NomH, s.DS.Cfg.FPS, d.FrameIdx-prefix[len(prefix)-1].FrameIdx)
+								nm := track.MotionFeatures(prefix, d, s.DS.Cfg.NomW, s.DS.Cfg.NomH)
+								q := s.Recurrent.Score(h, nf, nm)
+								negSum += q
+								nNeg++
+								if q < 0.5 {
+									negOK++
+								}
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+		st := ProbeStats{N: nPos}
+		if nPos > 0 {
+			st.PosMean = posSum / float64(nPos)
+			st.PosAcc = float64(posOK) / float64(nPos)
+		}
+		if nNeg > 0 {
+			st.NegMean = negSum / float64(nNeg)
+			st.NegAcc = float64(negOK) / float64(nNeg)
+		}
+		out[gap] = st
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"otif/internal/costmodel"
+	"otif/internal/dataset"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/proxy"
+	"otif/internal/query"
+	"otif/internal/track"
+	"otif/internal/video"
+)
+
+// ClipResult is the output of running one configuration over one clip.
+type ClipResult struct {
+	Tracks []*track.Track
+	// DetsByFrame maps processed frame index -> detections (used when
+	// collecting theta_best outputs for training).
+	DetsByFrame map[int][]detect.Detection
+}
+
+// RunClip executes the pipeline of Figure 2 under cfg over one clip: the
+// tracker's sampling gap selects frames; on each sampled frame the proxy
+// model (if enabled) chooses detector windows; the detector produces
+// detections; the tracker associates them into tracks. Costs are charged
+// to acct.
+func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountant) *ClipResult {
+	detW, detH := cfg.DetRes(s.DS.Cfg.NomW, s.DS.Cfg.NomH)
+	detector := &detect.Detector{
+		Cfg: detect.Config{
+			Arch:  cfg.Arch,
+			Width: detW, Height: detH,
+			ConfThresh: cfg.DetConf,
+		},
+		Background: s.Background,
+		Classify:   s.Classifier,
+		Acct:       acct,
+	}
+
+	var ws *proxy.WindowSet
+	var pm *proxy.Model
+	if cfg.UseProxy && len(s.Proxies) > 0 {
+		idx := cfg.ProxyIdx
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s.Proxies) {
+			idx = len(s.Proxies) - 1
+		}
+		pm = s.Proxies[idx]
+		ws = proxy.NewWindowSet(s.DS.Cfg.NomW, s.DS.Cfg.NomH,
+			cfg.Arch.PerPixelCost(), cfg.DetScale, s.WindowSizes)
+	}
+
+	tracker := s.newTracker(cfg, acct)
+	res := &ClipResult{DetsByFrame: map[int][]detect.Detection{}}
+
+	processFrame := func(frame *video.Frame, idx, gapUsed int) {
+		var dets []detect.Detection
+		if pm != nil {
+			scores := pm.Score(frame, s.Background, acct)
+			grid := proxy.Threshold(s.DS.Cfg.NomW, s.DS.Cfg.NomH, scores, cfg.ProxyThresh)
+			wins := proxy.Group(grid, ws)
+			if len(wins) > 0 {
+				dets = detector.DetectWindows(frame, idx, wins)
+			}
+		} else {
+			dets = detector.Detect(frame, idx)
+		}
+		res.DetsByFrame[idx] = dets
+		tracker.Update(&track.FrameContext{FrameIdx: idx, GapFrames: gapUsed}, dets)
+	}
+
+	rec, _ := tracker.(*track.RecurrentTracker)
+	if cfg.VariableGap && rec != nil {
+		s.runVariable(cfg, clip, detW, detH, acct, rec, processFrame)
+	} else {
+		reader := video.NewReader(clip, cfg.Gap, detW, detH, acct)
+		for {
+			frame, idx := reader.Next()
+			if frame == nil {
+				break
+			}
+			processFrame(frame, idx, cfg.Gap)
+		}
+	}
+	tracks := tracker.Finish()
+	// Prune single-detection tracks: they mostly correspond to spurious
+	// detections (§3.4).
+	res.Tracks = track.PruneShort(tracks, 2)
+	return res
+}
+
+// runVariable executes the Miris-style variable-rate policy: after a
+// confident association round the gap doubles (up to cfg.Gap); after a
+// low-confidence round it halves (down to 1), re-processing sooner.
+// Decode cost is charged like the fixed-rate reader's (skipped frames
+// still cost a fraction of a decode).
+func (s *System) runVariable(cfg Config, clip *video.Clip, detW, detH int,
+	acct *costmodel.Accountant, rec *track.RecurrentTracker,
+	processFrame func(frame *video.Frame, idx, gapUsed int)) {
+	const confidenceFloor = 0.75
+	per := costmodel.DecodeCost(detW, detH)
+	gap := cfg.Gap
+	idx := 0
+	prev := -1
+	for idx < clip.Len() {
+		skipped := 0
+		if prev >= 0 {
+			skipped = idx - prev - 1
+		}
+		acct.Add(costmodel.OpDecode, per*(1+0.15*float64(skipped)))
+		gapUsed := cfg.Gap
+		if prev >= 0 {
+			gapUsed = idx - prev
+		}
+		processFrame(clip.Frame(idx), idx, gapUsed)
+		if rec.LastConfidence() < confidenceFloor {
+			if gap > 1 {
+				gap /= 2
+			}
+		} else if gap < cfg.Gap {
+			gap *= 2
+		}
+		prev = idx
+		idx += gap
+	}
+}
+
+// newTracker instantiates the tracker selected by cfg. Track termination
+// is time-based: a track survives roughly maxMissSeconds of consecutive
+// unmatched processed frames (bridging brief detector misses and
+// occlusion merges) regardless of the sampling gap.
+func (s *System) newTracker(cfg Config, acct *costmodel.Accountant) track.Tracker {
+	misses := maxMisses(s.DS.Cfg.FPS, cfg.Gap)
+	switch cfg.Tracker {
+	case TrackerRecurrent:
+		if s.Recurrent != nil {
+			t := track.NewRecurrentTracker(s.Recurrent, acct)
+			t.MaxMisses = misses
+			return t
+		}
+	case TrackerPair:
+		if s.Pair != nil {
+			t := track.NewPairTracker(s.Pair, acct)
+			t.MaxMisses = misses
+			return t
+		}
+	}
+	t := track.NewSORT()
+	t.MaxMisses = misses
+	return t
+}
+
+// maxMissSeconds is how long a track survives without a matching
+// detection before termination.
+const maxMissSeconds = 0.8
+
+func maxMisses(fps, gap int) int {
+	n := int(maxMissSeconds * float64(fps) / float64(gap))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// QueryTracks converts pipeline tracks into the query engine's stored-track
+// form, applying endpoint refinement when the configuration requests it and
+// the dataset's camera is fixed. clipLen is the source clip's frame count.
+//
+// Refinement repairs *sampling* truncation: at gap g the first detection
+// can be up to g-1 frames after the object entered the scene. A track
+// whose first (last) detection sits at the clip's temporal boundary was
+// truncated by the clip itself, not by sampling, and extending it would
+// count an object that never completed its movement within the clip — so
+// those endpoints are left alone.
+func (s *System) QueryTracks(cfg Config, tracks []*track.Track, clipLen int) []*query.Track {
+	out := make([]*query.Track, 0, len(tracks))
+	doRefine := cfg.Refine && s.Refiner != nil && s.DS.FixedCamera
+	lastProcessed := 0
+	if clipLen > 0 {
+		lastProcessed = ((clipLen - 1) / cfg.Gap) * cfg.Gap
+	}
+	for _, t := range tracks {
+		qt := &query.Track{
+			ID:       t.ID,
+			Category: t.Category,
+			Dets:     t.Dets,
+			Path:     t.Path(),
+		}
+		if doRefine && len(qt.Path) > 1 {
+			if start, end, ok := s.Refiner.RefineEndpoints(qt.Path); ok {
+				// Refinement extends tracks toward where the object
+				// entered and left the scene (Figure 4); it must never
+				// retract an endpoint the tracker already observed.
+				if t.FirstFrame() >= cfg.Gap && extendsBackward(qt.Path, start) {
+					qt.Path = append(geom.Path{start}, qt.Path...)
+				}
+				if t.LastFrame() <= lastProcessed-cfg.Gap && extendsForward(qt.Path, end) {
+					qt.Path = append(qt.Path, end)
+				}
+			}
+		}
+		out = append(out, qt)
+	}
+	return out
+}
+
+// extendsBackward reports whether p lies beyond the path's first point,
+// opposite the direction of travel.
+func extendsBackward(path geom.Path, p geom.Point) bool {
+	dir := path[1].Sub(path[0])
+	toP := p.Sub(path[0])
+	return dir.X*toP.X+dir.Y*toP.Y < 0
+}
+
+// extendsForward reports whether p lies beyond the path's last point,
+// along the direction of travel.
+func extendsForward(path geom.Path, p geom.Point) bool {
+	n := len(path)
+	dir := path[n-1].Sub(path[n-2])
+	toP := p.Sub(path[n-1])
+	return dir.X*toP.X+dir.Y*toP.Y > 0
+}
+
+// SetResult is the outcome of executing a configuration over a clip set.
+type SetResult struct {
+	PerClip [][]*query.Track
+	// Runtime is the simulated execution time in seconds over the set.
+	Runtime float64
+	// Breakdown is the per-operation cost split.
+	Breakdown map[costmodel.Op]float64
+}
+
+// RunSet executes cfg over the given clips and returns the per-clip query
+// tracks plus the simulated runtime.
+func (s *System) RunSet(cfg Config, clips []*dataset.ClipTruth) *SetResult {
+	acct := costmodel.NewAccountant()
+	out := &SetResult{PerClip: make([][]*query.Track, len(clips))}
+	for i, ct := range clips {
+		res := s.RunClip(cfg, ct.Clip, acct)
+		out.PerClip[i] = s.QueryTracks(cfg, res.Tracks, ct.Clip.Len())
+	}
+	out.Runtime = acct.Total()
+	out.Breakdown = acct.Breakdown()
+	return out
+}
+
+// Ctx returns the query context for this dataset's clips.
+func (s *System) Ctx() query.Context {
+	frames := 0
+	if len(s.DS.Test) > 0 {
+		frames = s.DS.Test[0].Clip.Len()
+	} else if len(s.DS.Val) > 0 {
+		frames = s.DS.Val[0].Clip.Len()
+	}
+	return query.Context{
+		FPS:  s.DS.Cfg.FPS,
+		NomW: s.DS.Cfg.NomW,
+		NomH: s.DS.Cfg.NomH,
+		// Frames is per clip; all clips in a set share a length.
+		Frames: frames,
+	}
+}

@@ -1,0 +1,106 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibration(t *testing.T) {
+	// YOLOv3 at 960x540 runs at 100 fps on the V100 (§1 of the paper).
+	perFrame := YOLOPerPixel * 960 * 540
+	if math.Abs(perFrame-0.01) > 1e-9 {
+		t.Errorf("YOLO per-frame cost = %v, want 0.01", perFrame)
+	}
+	if RCNNPerPixel <= YOLOPerPixel {
+		t.Error("Mask R-CNN must cost more per pixel than YOLOv3")
+	}
+	if ProxyPerPixel >= YOLOPerPixel {
+		t.Error("proxy model must be cheaper per pixel than the detector")
+	}
+}
+
+func TestAccountantAccumulates(t *testing.T) {
+	a := NewAccountant()
+	a.Add(OpDetect, 1.5)
+	a.Add(OpDetect, 0.5)
+	a.Add(OpDecode, 1)
+	if got := a.Get(OpDetect); got != 2 {
+		t.Errorf("Get(detect) = %v", got)
+	}
+	if got := a.Total(); got != 3 {
+		t.Errorf("Total = %v", got)
+	}
+	b := a.Breakdown()
+	if b[OpDecode] != 1 || len(b) != 2 {
+		t.Errorf("Breakdown = %v", b)
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Error("Reset should clear totals")
+	}
+}
+
+func TestAccountantNilSafe(t *testing.T) {
+	var a *Accountant
+	a.Add(OpDetect, 1) // must not panic
+	if a.Total() != 0 || a.Get(OpDetect) != 0 {
+		t.Error("nil accountant should report zero")
+	}
+	if a.Breakdown() != nil {
+		t.Error("nil accountant breakdown should be nil")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.Add(OpTrack, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Get(OpTrack); math.Abs(got-8) > 1e-6 {
+		t.Errorf("concurrent total = %v, want 8", got)
+	}
+}
+
+func TestCostMonotonicInPixels(t *testing.T) {
+	f := func(w1, h1, dw, dh uint8) bool {
+		a := DetectCost(YOLOPerPixel, int(w1)+1, int(h1)+1)
+		b := DetectCost(YOLOPerPixel, int(w1)+1+int(dw), int(h1)+1+int(dh))
+		if b < a {
+			return false
+		}
+		pa := ProxyCost(int(w1)+1, int(h1)+1)
+		pb := ProxyCost(int(w1)+1+int(dw), int(h1)+1+int(dh))
+		return pb >= pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedOverheadMakesTinyWindowsInefficient(t *testing.T) {
+	// Two half-size windows must cost more than one window of their
+	// combined area (this drives window merging in the proxy grouping).
+	one := DetectCost(YOLOPerPixel, 200, 200)
+	two := 2 * DetectCost(YOLOPerPixel, 200, 100)
+	if two <= one {
+		t.Errorf("two windows (%v) should cost more than one (%v)", two, one)
+	}
+}
+
+func TestString(t *testing.T) {
+	a := NewAccountant()
+	a.Add(OpDetect, 1)
+	if a.String() == "" {
+		t.Error("String should render the breakdown")
+	}
+}

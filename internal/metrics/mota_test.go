@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"testing"
+
+	"otif/internal/geom"
+)
+
+func idTrack(id, f0, n int, x0, vx float64) *IDTrack {
+	t := &IDTrack{ID: id}
+	for i := 0; i < n; i++ {
+		t.Boxes = append(t.Boxes, TrackedBox{
+			FrameIdx: f0 + i,
+			Box:      geom.Rect{X: x0 + vx*float64(i), Y: 0, W: 40, H: 20},
+		})
+	}
+	return t
+}
+
+func TestMOTAPerfect(t *testing.T) {
+	gt := []*IDTrack{idTrack(0, 0, 10, 0, 5), idTrack(1, 0, 10, 200, 5)}
+	pred := []*IDTrack{idTrack(7, 0, 10, 0, 5), idTrack(9, 0, 10, 200, 5)}
+	res := EvaluateMOTA(gt, pred, 0.5)
+	if res.Misses != 0 || res.FalsePos != 0 || res.IDSwitches != 0 {
+		t.Errorf("perfect tracking: %+v", res)
+	}
+	if res.MOTA() != 1 {
+		t.Errorf("MOTA = %v, want 1", res.MOTA())
+	}
+}
+
+func TestMOTAMisses(t *testing.T) {
+	gt := []*IDTrack{idTrack(0, 0, 10, 0, 5)}
+	res := EvaluateMOTA(gt, nil, 0.5)
+	if res.Misses != 10 || res.MOTA() != 0 {
+		t.Errorf("all-missed: %+v MOTA=%v", res, res.MOTA())
+	}
+}
+
+func TestMOTAFalsePositives(t *testing.T) {
+	gt := []*IDTrack{idTrack(0, 0, 10, 0, 5)}
+	pred := []*IDTrack{
+		idTrack(1, 0, 10, 0, 5),   // correct
+		idTrack(2, 0, 10, 400, 5), // phantom
+	}
+	res := EvaluateMOTA(gt, pred, 0.5)
+	if res.FalsePos != 10 {
+		t.Errorf("false positives = %d, want 10", res.FalsePos)
+	}
+	if res.MOTA() != 0 {
+		t.Errorf("MOTA = %v, want 0", res.MOTA())
+	}
+}
+
+func TestMOTAIdentitySwitch(t *testing.T) {
+	// One ground-truth object; the prediction splits it into two tracks
+	// (a fragmentation at frame 5) -> exactly one identity switch.
+	gt := []*IDTrack{idTrack(0, 0, 10, 0, 5)}
+	pred := []*IDTrack{
+		idTrack(1, 0, 5, 0, 5),
+		idTrack(2, 5, 5, 25, 5),
+	}
+	res := EvaluateMOTA(gt, pred, 0.5)
+	if res.IDSwitches != 1 {
+		t.Errorf("switches = %d, want 1", res.IDSwitches)
+	}
+	if res.Misses != 0 || res.FalsePos != 0 {
+		t.Errorf("unexpected misses/FPs: %+v", res)
+	}
+}
+
+func TestMOTAPrefersKeepingIdentity(t *testing.T) {
+	// Two ground-truth objects crossing paths; predictions follow them
+	// exactly with stable IDs -> identity-preserving matching must not
+	// report switches even when boxes of the two objects overlap.
+	gt := []*IDTrack{idTrack(0, 0, 11, 0, 10), idTrack(1, 0, 11, 100, -10)}
+	pred := []*IDTrack{idTrack(5, 0, 11, 0, 10), idTrack(6, 0, 11, 100, -10)}
+	res := EvaluateMOTA(gt, pred, 0.5)
+	if res.IDSwitches != 0 {
+		t.Errorf("crossing objects caused %d spurious switches", res.IDSwitches)
+	}
+}
+
+func TestMOTAEmptyGT(t *testing.T) {
+	res := EvaluateMOTA(nil, nil, 0.5)
+	if res.MOTA() != 1 {
+		t.Errorf("empty MOTA = %v, want 1", res.MOTA())
+	}
+}

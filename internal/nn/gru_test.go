@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGRUStepShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGRUCell(3, 4, rng)
+	h := NewVec(4)
+	h2, step := g.Step(h, Vec{0.1, 0.2, 0.3})
+	if len(h2) != 4 {
+		t.Fatalf("hidden size = %d", len(h2))
+	}
+	if step == nil {
+		t.Fatal("nil step record")
+	}
+	// Hidden state stays bounded: it is a convex mix of h and tanh output.
+	for _, v := range h2 {
+		if v < -1 || v > 1 {
+			t.Errorf("hidden %v out of [-1,1]", v)
+		}
+	}
+}
+
+func TestGRURunSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGRUCell(2, 3, rng)
+	xs := []Vec{{1, 0}, {0, 1}, {1, 1}}
+	h, steps := g.RunSequence(xs)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// Equivalent to manual folding.
+	h2 := NewVec(3)
+	for _, x := range xs {
+		h2, _ = g.Step(h2, x)
+	}
+	for i := range h {
+		if math.Abs(h[i]-h2[i]) > 1e-12 {
+			t.Errorf("RunSequence mismatch at %d: %v vs %v", i, h[i], h2[i])
+		}
+	}
+}
+
+// TestGRULearnsLastInput trains the cell (plus a readout) to remember
+// whether the final input was positive — a minimal sequence task proving
+// gradients flow through StepBackward.
+func TestGRULearnsLastInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGRUCell(1, 6, rng)
+	readout := NewDense(6, 1, SigmoidAct, rng)
+
+	sample := func() ([]Vec, float64) {
+		n := rng.Intn(3) + 2
+		xs := make([]Vec, n)
+		for i := range xs {
+			xs[i] = Vec{rng.Float64()*2 - 1}
+		}
+		label := 0.0
+		if xs[n-1][0] > 0 {
+			label = 1
+		}
+		return xs, label
+	}
+
+	for iter := 0; iter < 3000; iter++ {
+		xs, label := sample()
+		h, steps := g.RunSequence(xs)
+		p := readout.Forward(h)
+		_, grad := BCELoss(p[0], label)
+		dH := readout.Backward(Vec{grad}, 0.1, 1)
+		g.SequenceBackward(steps, dH, 0.1, 1)
+	}
+
+	correct := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		xs, label := sample()
+		h, _ := g.RunSequence(xs)
+		p := readout.Forward(h)[0]
+		if (p > 0.5) == (label > 0.5) {
+			correct++
+		}
+	}
+	if correct < trials*8/10 {
+		t.Errorf("GRU accuracy %d/%d, want >= 80%%", correct, trials)
+	}
+}
+
+// TestGRUGradientDirection checks that a single training step reduces the
+// loss on the same example (sanity of StepBackward wiring).
+func TestGRUGradientDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGRUCell(2, 4, rng)
+	readout := NewDense(4, 1, SigmoidAct, rng)
+	xs := []Vec{{0.5, -0.5}, {1, 0.2}}
+	label := 1.0
+
+	lossOf := func() float64 {
+		h, _ := g.RunSequence(xs)
+		p := readout.Forward(h)
+		l, _ := BCELoss(p[0], label)
+		return l
+	}
+
+	before := lossOf()
+	for i := 0; i < 5; i++ {
+		h, steps := g.RunSequence(xs)
+		p := readout.Forward(h)
+		_, grad := BCELoss(p[0], label)
+		dH := readout.Backward(Vec{grad}, 0.05, 1)
+		g.SequenceBackward(steps, dH, 0.05, 1)
+	}
+	after := lossOf()
+	if after >= before {
+		t.Errorf("loss did not decrease: %v -> %v", before, after)
+	}
+}

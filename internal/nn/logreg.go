@@ -1,0 +1,66 @@
+package nn
+
+import "math/rand"
+
+// LogReg is a logistic regression classifier: p = sigmoid(w.x + b).
+// The segmentation proxy model uses one LogReg per input resolution to
+// score each 32x32 cell of the frame with the likelihood that it
+// intersects an object detection.
+type LogReg struct {
+	W Vec
+	B float64
+}
+
+// NewLogReg returns a logistic regression over n features with small
+// random initial weights drawn from rng.
+func NewLogReg(n int, rng *rand.Rand) *LogReg {
+	w := NewVec(n)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.01
+	}
+	return &LogReg{W: w}
+}
+
+// Predict returns the positive-class probability for feature vector x.
+func (l *LogReg) Predict(x Vec) float64 { return Sigmoid(l.W.Dot(x) + l.B) }
+
+// Train performs one SGD step on example (x, t) with learning rate lr and
+// L2 regularization strength reg, returning the BCE loss before the update.
+func (l *LogReg) Train(x Vec, t, lr, reg float64) float64 {
+	p := l.Predict(x)
+	loss, _ := BCELoss(p, t)
+	// For sigmoid + BCE the gradient wrt the pre-activation simplifies
+	// to (p - t), which avoids the numerical blowup of chaining the two.
+	g := p - t
+	for i := range l.W {
+		l.W[i] -= lr * (g*x[i] + reg*l.W[i])
+	}
+	l.B -= lr * g
+	return loss
+}
+
+// TrainEpochs runs SGD over the dataset for the given number of epochs,
+// shuffling example order each epoch with rng, and returns the mean loss
+// of the final epoch.
+func (l *LogReg) TrainEpochs(xs []Vec, ts []float64, epochs int, lr, reg float64, rng *rand.Rand) float64 {
+	if len(xs) != len(ts) {
+		panic("nn: mismatched inputs and targets")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, i := range order {
+			total += l.Train(xs[i], ts[i], lr, reg)
+		}
+		last = total / float64(len(xs))
+	}
+	return last
+}

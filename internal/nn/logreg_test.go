@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLogRegLearnsLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLogReg(2, rng)
+	var xs []Vec
+	var ts []float64
+	for i := 0; i < 400; i++ {
+		x := Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		label := 0.0
+		if x[0]+x[1] > 0 {
+			label = 1
+		}
+		xs = append(xs, x)
+		ts = append(ts, label)
+	}
+	l.TrainEpochs(xs, ts, 30, 0.5, 0, rng)
+
+	correct := 0
+	for i, x := range xs {
+		if (l.Predict(x) > 0.5) == (ts[i] > 0.5) {
+			correct++
+		}
+	}
+	if correct < 380 {
+		t.Errorf("accuracy %d/400, want >= 380", correct)
+	}
+}
+
+func TestLogRegTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLogReg(1, rng)
+	x := Vec{1}
+	before, _ := BCELoss(l.Predict(x), 1)
+	for i := 0; i < 50; i++ {
+		l.Train(x, 1, 0.5, 0)
+	}
+	after, _ := BCELoss(l.Predict(x), 1)
+	if after >= before {
+		t.Errorf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestLogRegRegularizationShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLogReg(1, rng)
+	l.W[0] = 10
+	// Train on a balanced, uninformative dataset with strong L2.
+	xs := []Vec{{1}, {1}}
+	ts := []float64{0, 1}
+	l.TrainEpochs(xs, ts, 200, 0.1, 0.1, rng)
+	if l.W[0] > 5 {
+		t.Errorf("weight %v not shrunk by regularization", l.W[0])
+	}
+}
+
+func TestLogRegEmptyAndMismatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLogReg(2, rng)
+	if got := l.TrainEpochs(nil, nil, 5, 0.1, 0, rng); got != 0 {
+		t.Errorf("empty training loss = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	l.TrainEpochs([]Vec{{1, 2}}, []float64{1, 0}, 1, 0.1, 0, rng)
+}

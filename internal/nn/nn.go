@@ -1,0 +1,251 @@
+// Package nn is a small pure-Go neural network library used by OTIF's
+// learned components: the segmentation proxy model (logistic regression over
+// cell features), the recurrent reduced-rate tracker (GRU-style cell plus a
+// matching MLP), and the proxy models of the BlazeIt/TASTI/NoScope baselines.
+//
+// It deliberately supports only what those components need: dense layers,
+// a gated recurrent cell, sigmoid/tanh/ReLU activations, binary cross
+// entropy and squared-error losses, and plain SGD with gradient clipping.
+// All math is float64 and all randomness flows through an explicit
+// *rand.Rand so training is deterministic given a seed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("nn: dot of length %d and %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled adds f*w to v in place.
+func (v Vec) AddScaled(w Vec, f float64) {
+	for i := range v {
+		v[i] += f * w[i]
+	}
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...Vec) Vec {
+	var n int
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vec, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Tanh is the hyperbolic tangent.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// ReLU is the rectified linear unit.
+func ReLU(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Activation identifies the nonlinearity used by a Dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	SigmoidAct
+	TanhAct
+	ReLUAct
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case SigmoidAct:
+		return Sigmoid(x)
+	case TanhAct:
+		return Tanh(x)
+	case ReLUAct:
+		return ReLU(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns the activation derivative expressed in terms of
+// the activation output y (valid for all supported activations).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case SigmoidAct:
+		return y * (1 - y)
+	case TanhAct:
+		return 1 - y*y
+	case ReLUAct:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Dense is a fully connected layer with bias: y = act(W x + b).
+type Dense struct {
+	In, Out int
+	W       []Vec // Out rows of length In
+	B       Vec
+	Act     Activation
+
+	// scratch for backward
+	lastIn  Vec
+	lastOut Vec
+}
+
+// NewDense creates a Dense layer with Xavier-style initialization drawn from
+// rng.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Act: act, B: NewVec(out)}
+	scale := math.Sqrt(2.0 / float64(in+out))
+	d.W = make([]Vec, out)
+	for i := range d.W {
+		row := NewVec(in)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale
+		}
+		d.W[i] = row
+	}
+	return d
+}
+
+// Forward computes the layer output, retaining state for Backward.
+func (d *Dense) Forward(x Vec) Vec {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense expected input %d, got %d", d.In, len(x)))
+	}
+	d.lastIn = x.Clone()
+	out := NewVec(d.Out)
+	for i := 0; i < d.Out; i++ {
+		out[i] = d.Act.apply(d.W[i].Dot(x) + d.B[i])
+	}
+	d.lastOut = out
+	return out.Clone()
+}
+
+// Backward takes dL/dy and applies an SGD update with learning rate lr,
+// returning dL/dx. Gradients are clipped elementwise to [-clip, clip]
+// (clip <= 0 disables clipping).
+func (d *Dense) Backward(dOut Vec, lr, clip float64) Vec {
+	dIn := NewVec(d.In)
+	for i := 0; i < d.Out; i++ {
+		g := dOut[i] * d.Act.derivFromOutput(d.lastOut[i])
+		g = clipVal(g, clip)
+		for j := 0; j < d.In; j++ {
+			dIn[j] += g * d.W[i][j]
+			d.W[i][j] -= lr * g * d.lastIn[j]
+		}
+		d.B[i] -= lr * g
+	}
+	return dIn
+}
+
+func clipVal(g, clip float64) float64 {
+	if clip <= 0 {
+		return g
+	}
+	if g > clip {
+		return clip
+	}
+	if g < -clip {
+		return -clip
+	}
+	return g
+}
+
+// MLP is a feed-forward stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes; hidden layers use hidden
+// activation, the final layer uses final.
+func NewMLP(sizes []int, hidden, final Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = final
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return m
+}
+
+// Forward runs the network on x.
+func (m *MLP) Forward(x Vec) Vec {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward backpropagates dL/dy through the network with SGD updates.
+func (m *MLP) Backward(dOut Vec, lr, clip float64) Vec {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dOut = m.Layers[i].Backward(dOut, lr, clip)
+	}
+	return dOut
+}
+
+// BCELoss returns the binary cross entropy between prediction p in (0,1)
+// and target t in {0,1}, along with dL/dp.
+func BCELoss(p, t float64) (loss, grad float64) {
+	const eps = 1e-7
+	p = math.Min(math.Max(p, eps), 1-eps)
+	loss = -(t*math.Log(p) + (1-t)*math.Log(1-p))
+	grad = (p - t) / (p * (1 - p))
+	return loss, grad
+}
+
+// SquaredLoss returns 0.5*(p-t)^2 and its gradient with respect to p.
+func SquaredLoss(p, t float64) (loss, grad float64) {
+	d := p - t
+	return 0.5 * d * d, d
+}

@@ -1,0 +1,320 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+
+	"otif/internal/core"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/nn"
+	"otif/internal/proxy"
+	"otif/internal/refine"
+	"otif/internal/track"
+	"otif/internal/video"
+)
+
+// modelMagic identifies a trained-model bundle file.
+const modelMagic = "OTIFMDL1"
+
+// SaveModels serializes a trained system's artifacts: theta_best, the
+// background model, the proxy models, the window-size set, the recurrent
+// and pairwise tracking models, and the refinement clusters. Dataset
+// identity (name/spec/seed) is recorded so loading into a mismatched
+// dataset fails loudly.
+func SaveModels(dst io.Writer, sys *core.System) error {
+	w := newWriter(dst)
+	w.header(modelMagic)
+	w.str(sys.DS.Name)
+	w.int(sys.DS.Spec.Clips)
+	w.f64(sys.DS.Spec.ClipSeconds)
+
+	writeConfig(w, sys.Best)
+
+	// Background frame.
+	bg := sys.Background.Frame()
+	w.int(bg.W)
+	w.int(bg.H)
+	w.int(bg.NomW)
+	w.int(bg.NomH)
+	w.bytes(bg.Pix)
+
+	// Proxy models.
+	w.int(len(sys.Proxies))
+	for _, m := range sys.Proxies {
+		w.int(m.ResW)
+		w.int(m.ResH)
+		w.floats(m.LR.W)
+		w.f64(m.LR.B)
+	}
+
+	// Window sizes (beyond the implicit full frame).
+	w.int(len(sys.WindowSizes))
+	for _, s := range sys.WindowSizes {
+		w.int(s[0])
+		w.int(s[1])
+	}
+
+	// Tracking models.
+	writeRecurrent(w, sys.Recurrent)
+	writePair(w, sys.Pair)
+
+	// Refinement clusters.
+	if sys.Refiner == nil {
+		w.int(-1)
+	} else {
+		w.int(len(sys.Refiner.Clusters))
+		for _, c := range sys.Refiner.Clusters {
+			w.int(c.Size)
+			w.int(len(c.Center))
+			for _, p := range c.Center {
+				w.f64(p.X)
+				w.f64(p.Y)
+			}
+		}
+	}
+	return w.finish()
+}
+
+// LoadModels restores a trained system over a freshly built dataset
+// instance. The dataset must match the one the bundle was trained on.
+func LoadModels(src io.Reader, sys *core.System) error {
+	r := newReader(src)
+	if err := r.header(modelMagic); err != nil {
+		return err
+	}
+	name := r.str()
+	clips := r.int()
+	clipSec := r.f64()
+	if r.err != nil {
+		return r.err
+	}
+	if name != sys.DS.Name || clips != sys.DS.Spec.Clips || clipSec != sys.DS.Spec.ClipSeconds {
+		return fmt.Errorf("persist: bundle trained on %s (%d x %gs), dataset is %s (%d x %gs)",
+			name, clips, clipSec, sys.DS.Name, sys.DS.Spec.Clips, sys.DS.Spec.ClipSeconds)
+	}
+
+	best, err := readConfig(r)
+	if err != nil {
+		return err
+	}
+	sys.Best = best
+
+	bw, bh := r.int(), r.int()
+	nomW, nomH := r.int(), r.int()
+	if r.err != nil || bw <= 0 || bh <= 0 || bw*bh > 1<<26 {
+		return badLen(r, bw*bh)
+	}
+	frame := video.NewFrame(bw, bh, nomW, nomH)
+	copy(frame.Pix, r.bytes(bw*bh))
+	sys.Background = detect.NewBackgroundModel(frame)
+
+	nProxies := r.int()
+	if r.err != nil || nProxies < 0 || nProxies > 64 {
+		return badLen(r, nProxies)
+	}
+	sys.Proxies = make([]*proxy.Model, nProxies)
+	for i := range sys.Proxies {
+		m := &proxy.Model{ResW: r.int(), ResH: r.int(), LR: &nn.LogReg{}}
+		m.LR.W = nn.Vec(r.floats())
+		m.LR.B = r.f64()
+		sys.Proxies[i] = m
+	}
+
+	nSizes := r.int()
+	if r.err != nil || nSizes < 0 || nSizes > 16 {
+		return badLen(r, nSizes)
+	}
+	sys.WindowSizes = make([][2]int, nSizes)
+	for i := range sys.WindowSizes {
+		sys.WindowSizes[i] = [2]int{r.int(), r.int()}
+	}
+
+	if sys.Recurrent, err = readRecurrent(r, sys); err != nil {
+		return err
+	}
+	if sys.Pair, err = readPair(r, sys); err != nil {
+		return err
+	}
+
+	nClusters := r.int()
+	if r.err != nil {
+		return r.err
+	}
+	if nClusters < 0 {
+		sys.Refiner = nil
+	} else {
+		if nClusters > 1<<20 {
+			return badLen(r, nClusters)
+		}
+		clusters := make([]*refine.Cluster, nClusters)
+		for i := range clusters {
+			c := &refine.Cluster{Size: r.int()}
+			n := r.int()
+			if r.err != nil || n < 0 || n > 1<<16 {
+				return badLen(r, n)
+			}
+			c.Center = make(geom.Path, n)
+			for k := range c.Center {
+				c.Center[k] = geom.Point{X: r.f64(), Y: r.f64()}
+			}
+			clusters[i] = c
+		}
+		opts := refine.DefaultDBSCANOptions()
+		sys.Refiner = &refine.Refiner{
+			Clusters:     clusters,
+			Idx:          refine.NewIndex(clusters, 64),
+			K:            10,
+			SearchRadius: 160,
+			MaxDist:      2.5 * opts.Eps,
+		}
+	}
+	return r.verifyChecksum()
+}
+
+func writeConfig(w *writer, c core.Config) {
+	w.str(string(c.Arch))
+	w.f64(c.DetScale)
+	w.f64(c.DetConf)
+	w.boolean(c.UseProxy)
+	w.int(c.ProxyIdx)
+	w.f64(c.ProxyThresh)
+	w.int(c.Gap)
+	w.str(string(c.Tracker))
+	w.boolean(c.VariableGap)
+	w.boolean(c.Refine)
+}
+
+func readConfig(r *reader) (core.Config, error) {
+	c := core.Config{
+		Arch:        detect.Arch(r.str()),
+		DetScale:    r.f64(),
+		DetConf:     r.f64(),
+		UseProxy:    r.boolean(),
+		ProxyIdx:    r.int(),
+		ProxyThresh: r.f64(),
+		Gap:         r.int(),
+		Tracker:     core.TrackerKind(r.str()),
+		VariableGap: r.boolean(),
+		Refine:      r.boolean(),
+	}
+	return c, r.err
+}
+
+func writeDense(w *writer, d *nn.Dense) {
+	w.int(d.In)
+	w.int(d.Out)
+	w.int(int(d.Act))
+	for _, row := range d.W {
+		w.floats(row)
+	}
+	w.floats(d.B)
+}
+
+func readDense(r *reader) (*nn.Dense, error) {
+	in, out := r.int(), r.int()
+	act := nn.Activation(r.int())
+	if r.err != nil || in <= 0 || out <= 0 || in > 1<<16 || out > 1<<16 {
+		return nil, badLen(r, in*out)
+	}
+	d := &nn.Dense{In: in, Out: out, Act: act, W: make([]nn.Vec, out)}
+	for i := range d.W {
+		d.W[i] = nn.Vec(r.floats())
+	}
+	d.B = nn.Vec(r.floats())
+	return d, r.err
+}
+
+func writeMLP(w *writer, m *nn.MLP) {
+	w.int(len(m.Layers))
+	for _, l := range m.Layers {
+		writeDense(w, l)
+	}
+}
+
+func readMLP(r *reader) (*nn.MLP, error) {
+	n := r.int()
+	if r.err != nil || n <= 0 || n > 16 {
+		return nil, badLen(r, n)
+	}
+	m := &nn.MLP{Layers: make([]*nn.Dense, n)}
+	for i := range m.Layers {
+		var err error
+		if m.Layers[i], err = readDense(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func writeRecurrent(w *writer, m *track.RecurrentModel) {
+	if m == nil {
+		w.int(-1)
+		return
+	}
+	w.int(m.Hidden)
+	writeDense(w, m.GRU.Wz)
+	writeDense(w, m.GRU.Wr)
+	writeDense(w, m.GRU.Wc)
+	writeMLP(w, m.Match)
+}
+
+func readRecurrent(r *reader, sys *core.System) (*track.RecurrentModel, error) {
+	hidden := r.int()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if hidden < 0 {
+		return nil, nil
+	}
+	m := &track.RecurrentModel{
+		Hidden: hidden,
+		GRU:    &nn.GRUCell{InSize: track.FeatDim, HiddenSize: hidden},
+		NomW:   sys.DS.Cfg.NomW,
+		NomH:   sys.DS.Cfg.NomH,
+		FPS:    sys.DS.Cfg.FPS,
+	}
+	var err error
+	if m.GRU.Wz, err = readDense(r); err != nil {
+		return nil, err
+	}
+	if m.GRU.Wr, err = readDense(r); err != nil {
+		return nil, err
+	}
+	if m.GRU.Wc, err = readDense(r); err != nil {
+		return nil, err
+	}
+	if m.Match, err = readMLP(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writePair(w *writer, m *track.PairModel) {
+	if m == nil {
+		w.int(-1)
+		return
+	}
+	w.int(1)
+	writeMLP(w, m.Match)
+}
+
+func readPair(r *reader, sys *core.System) (*track.PairModel, error) {
+	tag := r.int()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if tag < 0 {
+		return nil, nil
+	}
+	m := &track.PairModel{
+		NomW: sys.DS.Cfg.NomW,
+		NomH: sys.DS.Cfg.NomH,
+		FPS:  sys.DS.Cfg.FPS,
+	}
+	var err error
+	if m.Match, err = readMLP(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,208 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otif/internal/core"
+	"otif/internal/dataset"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/query"
+	"otif/internal/tuner"
+)
+
+func sampleTracks(rng *rand.Rand, nClips int) [][]*query.Track {
+	out := make([][]*query.Track, nClips)
+	for c := range out {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			t := &query.Track{ID: i, Category: "car"}
+			for f := 0; f < rng.Intn(6)+2; f++ {
+				t.Dets = append(t.Dets, detect.Detection{
+					FrameIdx: f * 2,
+					Box:      geom.Rect{X: rng.Float64() * 100, Y: rng.Float64() * 100, W: 40, H: 20},
+					Score:    rng.Float64(),
+					Category: "car",
+					AppMean:  rng.Float64() * 255,
+					AppStd:   rng.Float64() * 64,
+				})
+				t.Path = append(t.Path, t.Dets[len(t.Dets)-1].Box.Center())
+			}
+			out[c] = append(out[c], t)
+		}
+	}
+	return out
+}
+
+func tracksEqual(a, b [][]*query.Track) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			return false
+		}
+		for i := range a[c] {
+			x, y := a[c][i], b[c][i]
+			if x.ID != y.ID || x.Category != y.Category ||
+				len(x.Dets) != len(y.Dets) || len(x.Path) != len(y.Path) {
+				return false
+			}
+			for k := range x.Dets {
+				if x.Dets[k] != y.Dets[k] {
+					return false
+				}
+			}
+			for k := range x.Path {
+				if x.Path[k] != y.Path[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestTracksRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tracks := sampleTracks(rng, 3)
+	var buf bytes.Buffer
+	if err := WriteTracks(&buf, tracks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTracks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracksEqual(tracks, got) {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestTracksRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tracks := sampleTracks(rng, rng.Intn(3)+1)
+		var buf bytes.Buffer
+		if err := WriteTracks(&buf, tracks); err != nil {
+			return false
+		}
+		got, err := ReadTracks(&buf)
+		return err == nil && tracksEqual(tracks, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracksCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	if err := WriteTracks(&buf, sampleTracks(rng, 2)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := ReadTracks(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic error = %v", err)
+	}
+
+	// Flipped payload byte -> checksum mismatch (or implausible length).
+	bad2 := append([]byte{}, data...)
+	bad2[len(bad2)/2] ^= 0x55
+	if _, err := ReadTracks(bytes.NewReader(bad2)); err == nil {
+		t.Error("corruption not detected")
+	}
+
+	// Truncation.
+	if _, err := ReadTracks(bytes.NewReader(data[:len(data)-6])); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestModelsRoundtrip(t *testing.T) {
+	ds, err := dataset.Build("caldot1", dataset.SetSpec{Clips: 2, ClipSeconds: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(ds)
+	metric := core.MetricFor(ds)
+	best, _ := tuner.SelectBest(sys, metric)
+	sys.FinishTraining(best, 42)
+
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh dataset + system, load the bundle.
+	ds2, err := dataset.Build("caldot1", dataset.SetSpec{Clips: 2, ClipSeconds: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := core.NewSystem(ds2)
+	if err := LoadModels(bytes.NewReader(buf.Bytes()), sys2); err != nil {
+		t.Fatal(err)
+	}
+
+	if sys2.Best != sys.Best {
+		t.Errorf("theta_best mismatch: %v vs %v", sys2.Best, sys.Best)
+	}
+	if len(sys2.Proxies) != len(sys.Proxies) {
+		t.Fatalf("proxies = %d", len(sys2.Proxies))
+	}
+	for i := range sys.Proxies {
+		if sys2.Proxies[i].ResW != sys.Proxies[i].ResW {
+			t.Error("proxy resolution mismatch")
+		}
+		if sys2.Proxies[i].LR.B != sys.Proxies[i].LR.B {
+			t.Error("proxy bias mismatch")
+		}
+	}
+	if len(sys2.WindowSizes) != len(sys.WindowSizes) {
+		t.Error("window sizes mismatch")
+	}
+	if (sys2.Refiner == nil) != (sys.Refiner == nil) {
+		t.Error("refiner presence mismatch")
+	}
+
+	// The loaded system must produce identical results to the original.
+	cfg := sys.Best
+	cfg.Tracker = core.TrackerRecurrent
+	cfg.Gap = 4
+	a := sys.RunSet(cfg, ds.Val)
+	b := sys2.RunSet(cfg, ds2.Val)
+	if len(a.PerClip) != len(b.PerClip) {
+		t.Fatal("clip counts differ")
+	}
+	for i := range a.PerClip {
+		if len(a.PerClip[i]) != len(b.PerClip[i]) {
+			t.Errorf("clip %d: %d vs %d tracks", i, len(a.PerClip[i]), len(b.PerClip[i]))
+		}
+	}
+	if a.Runtime != b.Runtime {
+		t.Errorf("runtimes differ: %v vs %v", a.Runtime, b.Runtime)
+	}
+}
+
+func TestLoadModelsRejectsWrongDataset(t *testing.T) {
+	ds, _ := dataset.Build("caldot1", dataset.SetSpec{Clips: 1, ClipSeconds: 2}, 5)
+	sys := core.NewSystem(ds)
+	sys.FinishTraining(core.Config{Arch: detect.ArchYOLO, DetScale: 1, DetConf: 0.25, Gap: 1, Tracker: core.TrackerSORT}, 42)
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := dataset.Build("tokyo", dataset.SetSpec{Clips: 1, ClipSeconds: 2}, 5)
+	sys2 := core.NewSystem(other)
+	if err := LoadModels(bytes.NewReader(buf.Bytes()), sys2); err == nil {
+		t.Error("loading a caldot1 bundle into tokyo must fail")
+	}
+}

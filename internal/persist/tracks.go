@@ -1,0 +1,120 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/query"
+)
+
+// trackMagic identifies a track-set file.
+const trackMagic = "OTIFTRK1"
+
+// WriteTracks serializes per-clip track sets (the output of one OTIF
+// pre-processing pass over a clip set).
+func WriteTracks(dst io.Writer, perClip [][]*query.Track) error {
+	w := newWriter(dst)
+	w.header(trackMagic)
+	w.int(len(perClip))
+	for _, tracks := range perClip {
+		w.int(len(tracks))
+		for _, t := range tracks {
+			writeTrack(w, t)
+		}
+	}
+	return w.finish()
+}
+
+func writeTrack(w *writer, t *query.Track) {
+	w.int(t.ID)
+	w.str(t.Category)
+	w.int(len(t.Dets))
+	for _, d := range t.Dets {
+		w.int(d.FrameIdx)
+		w.f64(d.Box.X)
+		w.f64(d.Box.Y)
+		w.f64(d.Box.W)
+		w.f64(d.Box.H)
+		w.f64(d.Score)
+		w.str(d.Category)
+		w.f64(d.AppMean)
+		w.f64(d.AppStd)
+	}
+	w.int(len(t.Path))
+	for _, p := range t.Path {
+		w.f64(p.X)
+		w.f64(p.Y)
+	}
+}
+
+// ReadTracks loads a track-set file written by WriteTracks, verifying the
+// checksum.
+func ReadTracks(src io.Reader) ([][]*query.Track, error) {
+	r := newReader(src)
+	if err := r.header(trackMagic); err != nil {
+		return nil, err
+	}
+	nClips := r.int()
+	if r.err != nil || nClips < 0 || nClips > 1<<20 {
+		return nil, badLen(r, nClips)
+	}
+	out := make([][]*query.Track, nClips)
+	for c := range out {
+		nTracks := r.int()
+		if r.err != nil || nTracks < 0 || nTracks > 1<<24 {
+			return nil, badLen(r, nTracks)
+		}
+		out[c] = make([]*query.Track, nTracks)
+		for i := range out[c] {
+			t, err := readTrack(r)
+			if err != nil {
+				return nil, err
+			}
+			out[c][i] = t
+		}
+	}
+	if err := r.verifyChecksum(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readTrack(r *reader) (*query.Track, error) {
+	t := &query.Track{
+		ID:       r.int(),
+		Category: r.str(),
+	}
+	nDets := r.int()
+	if r.err != nil || nDets < 0 || nDets > 1<<24 {
+		return nil, badLen(r, nDets)
+	}
+	t.Dets = make([]detect.Detection, nDets)
+	for i := range t.Dets {
+		t.Dets[i] = detect.Detection{
+			FrameIdx: r.int(),
+			Box:      geom.Rect{X: r.f64(), Y: r.f64(), W: r.f64(), H: r.f64()},
+			Score:    r.f64(),
+			Category: r.str(),
+			AppMean:  r.f64(),
+			AppStd:   r.f64(),
+		}
+	}
+	nPath := r.int()
+	if r.err != nil || nPath < 0 || nPath > 1<<24 {
+		return nil, badLen(r, nPath)
+	}
+	t.Path = make(geom.Path, nPath)
+	for i := range t.Path {
+		t.Path[i] = geom.Point{X: r.f64(), Y: r.f64()}
+	}
+	return t, r.err
+}
+
+func badLen(r *reader, n int) error {
+	if r.err != nil {
+		return r.err
+	}
+	return fmt.Errorf("%w (implausible count %d)", ErrBadChecksum, n)
+}

@@ -1,0 +1,232 @@
+package proxy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otif/internal/costmodel"
+	"otif/internal/geom"
+)
+
+func testWindowSet() *WindowSet {
+	return NewWindowSet(640, 480, costmodel.YOLOPerPixel, 1.0, [][2]int{
+		{128, 96}, {256, 192},
+	})
+}
+
+func TestWindowSetAlwaysIncludesFullFrame(t *testing.T) {
+	ws := testWindowSet()
+	if ws.Sizes[0] != [2]int{640, 480} {
+		t.Fatalf("first size %v, want full frame", ws.Sizes[0])
+	}
+	if len(ws.Sizes) != 3 {
+		t.Errorf("sizes = %d, want 3", len(ws.Sizes))
+	}
+	// Sizes covering the whole frame are not duplicated.
+	ws2 := NewWindowSet(640, 480, costmodel.YOLOPerPixel, 1.0, [][2]int{{640, 480}, {700, 500}})
+	if len(ws2.Sizes) != 1 {
+		t.Errorf("full-frame-sized candidates should be dropped, got %v", ws2.Sizes)
+	}
+}
+
+func TestGroupEmptyGrid(t *testing.T) {
+	ws := testWindowSet()
+	g := NewGrid(640, 480)
+	if wins := Group(g, ws); wins != nil {
+		t.Errorf("empty grid should produce no windows, got %v", wins)
+	}
+	if EstCost(g, ws) != 0 {
+		t.Error("empty grid cost should be 0")
+	}
+}
+
+func TestGroupSingleCellUsesSmallestWindow(t *testing.T) {
+	ws := testWindowSet()
+	g := NewGrid(640, 480)
+	g.Set(2, 2, true)
+	wins := Group(g, ws)
+	if len(wins) != 1 {
+		t.Fatalf("windows = %v", wins)
+	}
+	if wins[0].W != 128 || wins[0].H != 96 {
+		t.Errorf("window size %vx%v, want smallest (128x96)", wins[0].W, wins[0].H)
+	}
+}
+
+func TestGroupCoversAllPositiveCells(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := testWindowSet()
+		g := NewGrid(640, 480)
+		for i := 0; i < rng.Intn(15)+1; i++ {
+			g.Set(rng.Intn(g.W), rng.Intn(g.H), true)
+		}
+		wins := Group(g, ws)
+		// Every positive cell must intersect some window (full-frame
+		// fallback trivially covers).
+		for cy := 0; cy < g.H; cy++ {
+			for cx := 0; cx < g.W; cx++ {
+				if !g.At(cx, cy) {
+					continue
+				}
+				cell := CellRect(cx, cy).Clip(geom.Rect{W: 640, H: 480})
+				covered := false
+				for _, w := range wins {
+					if w.Intersect(cell).Area() >= cell.Area()*0.5 {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupFallsBackToFullFrameWhenDense(t *testing.T) {
+	ws := testWindowSet()
+	g := NewGrid(640, 480)
+	for i := range g.Pos {
+		g.Pos[i] = true
+	}
+	wins := Group(g, ws)
+	if len(wins) != 1 || wins[0].W != 640 || wins[0].H != 480 {
+		t.Errorf("dense grid should fall back to full frame, got %v", wins)
+	}
+}
+
+func TestGroupMergesAdjacentClusters(t *testing.T) {
+	ws := testWindowSet()
+	g := NewGrid(640, 480)
+	// Two nearby cells (not connected) that fit a single small window:
+	// merging is cheaper than two windows.
+	g.Set(2, 2, true)
+	g.Set(4, 2, true) // 64px apart, both fit in one 128x96 window
+	wins := Group(g, ws)
+	if len(wins) != 1 {
+		t.Errorf("adjacent clusters should merge into one window, got %v", wins)
+	}
+}
+
+func TestGroupKeepsDistantClustersSeparate(t *testing.T) {
+	ws := testWindowSet()
+	g := NewGrid(640, 480)
+	g.Set(0, 0, true)
+	g.Set(g.W-1, g.H-1, true)
+	wins := Group(g, ws)
+	if len(wins) != 2 {
+		t.Errorf("distant clusters should stay separate, got %v", wins)
+	}
+	for _, w := range wins {
+		if w.W != 128 {
+			t.Errorf("expected smallest windows, got %v", w)
+		}
+	}
+}
+
+func TestGroupCostNeverExceedsFullFrame(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := testWindowSet()
+		g := NewGrid(640, 480)
+		for i := 0; i < rng.Intn(40); i++ {
+			g.Set(rng.Intn(g.W), rng.Intn(g.H), true)
+		}
+		if g.Count() == 0 {
+			return true
+		}
+		return EstCost(g, ws) <= ws.FullFrameCost()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowsStayInsideFrame(t *testing.T) {
+	ws := testWindowSet()
+	bounds := geom.Rect{W: 640, H: 480}
+	g := NewGrid(640, 480)
+	g.Set(0, 0, true) // corner cell: window must clamp
+	g.Set(g.W-1, 0, true)
+	for _, w := range Group(g, ws) {
+		if !bounds.ContainsRect(w) {
+			t.Errorf("window %v outside frame", w)
+		}
+	}
+}
+
+func TestSelectWindowSizes(t *testing.T) {
+	// Frames with small objects clustered top-left.
+	var frames [][]geom.Rect
+	for i := 0; i < 10; i++ {
+		frames = append(frames, []geom.Rect{
+			{X: 40, Y: 40, W: 50, H: 30},
+			{X: 120, Y: 60, W: 50, H: 30},
+		})
+	}
+	ws := SelectWindowSizes(640, 480, 3, costmodel.YOLOPerPixel, 1.0, frames)
+	if len(ws.Sizes) < 2 || len(ws.Sizes) > 3 {
+		t.Fatalf("selected %d sizes, want 2-3 (incl. full frame)", len(ws.Sizes))
+	}
+	// The selected small size must beat the full frame on these scenes.
+	total := 0.0
+	for _, boxes := range frames {
+		total += EstCost(TruthGrid(640, 480, boxes), ws)
+	}
+	fullOnly := NewWindowSet(640, 480, costmodel.YOLOPerPixel, 1.0, nil)
+	totalFull := 0.0
+	for _, boxes := range frames {
+		totalFull += EstCost(TruthGrid(640, 480, boxes), fullOnly)
+	}
+	if total >= totalFull {
+		t.Errorf("selected sizes (%v) should reduce cost: %v vs %v", ws.Sizes, total, totalFull)
+	}
+}
+
+func TestSelectWindowSizesRespectsK(t *testing.T) {
+	var frames [][]geom.Rect
+	for i := 0; i < 6; i++ {
+		frames = append(frames, []geom.Rect{{X: float64(40 * i), Y: 40, W: 30, H: 30}})
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		ws := SelectWindowSizes(640, 480, k, costmodel.YOLOPerPixel, 1.0, frames)
+		if len(ws.Sizes) > k {
+			t.Errorf("k=%d but %d sizes selected", k, len(ws.Sizes))
+		}
+	}
+}
+
+func TestSelectWindowSizesMonotoneInK(t *testing.T) {
+	// More window sizes never increase the expected runtime.
+	rng := rand.New(rand.NewSource(5))
+	var frames [][]geom.Rect
+	for i := 0; i < 12; i++ {
+		var boxes []geom.Rect
+		for j := 0; j < rng.Intn(4)+1; j++ {
+			boxes = append(boxes, geom.Rect{
+				X: rng.Float64() * 560, Y: rng.Float64() * 400,
+				W: 50, H: 35,
+			})
+		}
+		frames = append(frames, boxes)
+	}
+	var prev float64
+	for i, k := range []int{1, 2, 3, 4} {
+		ws := SelectWindowSizes(640, 480, k, costmodel.YOLOPerPixel, 1.0, frames)
+		total := 0.0
+		for _, boxes := range frames {
+			total += EstCost(TruthGrid(640, 480, boxes), ws)
+		}
+		if i > 0 && total > prev+1e-9 {
+			t.Errorf("k=%d cost %v exceeds k-1 cost %v", k, total, prev)
+		}
+		prev = total
+	}
+}

@@ -1,0 +1,265 @@
+// Package proxy implements OTIF's segmentation proxy model (§3.3 of the
+// paper). A proxy model inputs a video frame at a low resolution and scores
+// every 32x32 (nominal) cell of the frame with the likelihood that the cell
+// intersects at least one object detection. Positive cells after
+// thresholding by B_proxy are grouped into rectangular windows drawn from a
+// small fixed set of window sizes W, and the object detector runs only
+// inside those windows, falling back to the whole frame when that is
+// cheaper.
+//
+// The paper's five-layer segmentation CNN is replaced by per-cell logistic
+// regression over cell brightness statistics (see DESIGN.md §2); models are
+// trained at five input resolutions on the detections of the best-accuracy
+// configuration theta_best, and the input resolution and threshold are left
+// to the tuner, exactly as in the paper.
+package proxy
+
+import (
+	"math"
+	"math/rand"
+
+	"otif/internal/costmodel"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/nn"
+	"otif/internal/video"
+)
+
+// CellSize is the nominal pixel size of one proxy output cell.
+const CellSize = 32
+
+// featuresPerCell is the dimensionality of the per-cell feature vector.
+const featuresPerCell = 4
+
+// Grid is a boolean occupancy grid over the frame's 32x32 cells.
+type Grid struct {
+	W, H int
+	Pos  []bool
+}
+
+// NewGrid allocates an empty grid for a nominal frame size.
+func NewGrid(nomW, nomH int) *Grid {
+	w := (nomW + CellSize - 1) / CellSize
+	h := (nomH + CellSize - 1) / CellSize
+	return &Grid{W: w, H: h, Pos: make([]bool, w*h)}
+}
+
+// At reports whether cell (x, y) is positive.
+func (g *Grid) At(x, y int) bool { return g.Pos[y*g.W+x] }
+
+// Set marks cell (x, y).
+func (g *Grid) Set(x, y int, v bool) { g.Pos[y*g.W+x] = v }
+
+// Count returns the number of positive cells.
+func (g *Grid) Count() int {
+	n := 0
+	for _, p := range g.Pos {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// CellRect returns the nominal-coordinate rectangle of cell (x, y).
+func CellRect(x, y int) geom.Rect {
+	return geom.Rect{X: float64(x * CellSize), Y: float64(y * CellSize), W: CellSize, H: CellSize}
+}
+
+// TruthGrid marks every cell intersecting one of the detection boxes; it is
+// both the training label (from theta_best detections) and the "perfect
+// proxy" assumption used when selecting window sizes.
+func TruthGrid(nomW, nomH int, boxes []geom.Rect) *Grid {
+	g := NewGrid(nomW, nomH)
+	for _, b := range boxes {
+		x0 := clampInt(int(b.X)/CellSize, 0, g.W-1)
+		y0 := clampInt(int(b.Y)/CellSize, 0, g.H-1)
+		x1 := clampInt(int(math.Ceil(b.MaxX()-1e-9))/CellSize, 0, g.W-1)
+		y1 := clampInt(int(math.Ceil(b.MaxY()-1e-9))/CellSize, 0, g.H-1)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				g.Set(x, y, true)
+			}
+		}
+	}
+	return g
+}
+
+// Model is one trained proxy model at a fixed input resolution.
+type Model struct {
+	ResW, ResH int // nominal input resolution (cost accounting)
+	LR         *nn.LogReg
+}
+
+// NewModel creates an untrained proxy model for the given nominal input
+// resolution.
+func NewModel(resW, resH int, rng *rand.Rand) *Model {
+	return &Model{ResW: resW, ResH: resH, LR: nn.NewLogReg(featuresPerCell, rng)}
+}
+
+// analysisSize returns the stored-buffer resolution at which this model
+// analyzes the frame: the model's nominal input fraction applied to the
+// stored buffer.
+func (m *Model) analysisSize(f *video.Frame) (int, int) {
+	aw := int(float64(f.W)*float64(m.ResW)/float64(f.NomW) + 0.5)
+	ah := int(float64(f.H)*float64(m.ResH)/float64(f.NomH) + 0.5)
+	if aw < 2 {
+		aw = 2
+	}
+	if ah < 2 {
+		ah = 2
+	}
+	return aw, ah
+}
+
+// Features computes the per-cell feature vectors of the frame at the
+// model's input resolution using the background model for contrast
+// features. The returned slice has gridW*gridH entries in row-major cell
+// order.
+func (m *Model) Features(frame *video.Frame, bg *detect.BackgroundModel) []nn.Vec {
+	aw, ah := m.analysisSize(frame)
+	img := frame.Downsample(aw, ah)
+	var bgImg *video.Frame
+	if bg != nil {
+		bgImg = bg.At(aw, ah)
+	}
+	imgMean, _ := img.MeanStd(geom.Rect{})
+	var offset float64
+	if bgImg != nil {
+		bgMean, _ := bgImg.MeanStd(geom.Rect{})
+		offset = imgMean - bgMean
+	}
+
+	grid := NewGrid(frame.NomW, frame.NomH)
+	out := make([]nn.Vec, grid.W*grid.H)
+	// Analysis pixels per nominal pixel.
+	sx := float64(aw) / float64(frame.NomW)
+	sy := float64(ah) / float64(frame.NomH)
+	for cy := 0; cy < grid.H; cy++ {
+		y0 := clampInt(int(float64(cy*CellSize)*sy), 0, ah-1)
+		y1 := clampInt(int(math.Ceil(float64((cy+1)*CellSize)*sy)), y0+1, ah)
+		for cx := 0; cx < grid.W; cx++ {
+			x0 := clampInt(int(float64(cx*CellSize)*sx), 0, aw-1)
+			x1 := clampInt(int(math.Ceil(float64((cx+1)*CellSize)*sx)), x0+1, aw)
+			var sum, sum2, sumDiff, maxDiff float64
+			n := 0
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					v := float64(img.Pix[y*aw+x])
+					sum += v
+					sum2 += v * v
+					if bgImg != nil {
+						d := math.Abs(v - float64(bgImg.Pix[y*aw+x]) - offset)
+						sumDiff += d
+						if d > maxDiff {
+							maxDiff = d
+						}
+					}
+					n++
+				}
+			}
+			mean := sum / float64(n)
+			variance := sum2/float64(n) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			out[cy*grid.W+cx] = nn.Vec{
+				math.Sqrt(variance) / 32,
+				sumDiff / float64(n) / 48,
+				maxDiff / 64,
+				mean / 255,
+			}
+		}
+	}
+	return out
+}
+
+// Score runs the proxy model on a frame, charging simulated proxy cost, and
+// returns the per-cell positive-class probabilities.
+func (m *Model) Score(frame *video.Frame, bg *detect.BackgroundModel, acct *costmodel.Accountant) []float64 {
+	acct.Add(costmodel.OpProxy, costmodel.ProxyCost(m.ResW, m.ResH))
+	feats := m.Features(frame, bg)
+	scores := make([]float64, len(feats))
+	for i, f := range feats {
+		scores[i] = m.LR.Predict(f)
+	}
+	return scores
+}
+
+// Threshold converts per-cell scores into a positive-cell grid using the
+// confidence threshold B_proxy.
+func Threshold(nomW, nomH int, scores []float64, bProxy float64) *Grid {
+	g := NewGrid(nomW, nomH)
+	for i, s := range scores {
+		g.Pos[i] = s >= bProxy
+	}
+	return g
+}
+
+// TrainExample is one frame's worth of proxy training data.
+type TrainExample struct {
+	Frame *video.Frame
+	Boxes []geom.Rect // theta_best detections
+}
+
+// Train fits the model on the examples' cells using SGD, charging simulated
+// training cost. Per the paper, only frames with at least one detection are
+// used (the caller may pre-filter; Train also skips empty ones), and labels
+// are 1 for cells intersecting a detection.
+func (m *Model) Train(examples []TrainExample, bg *detect.BackgroundModel, epochs int, rng *rand.Rand, acct *costmodel.Accountant) {
+	var xs []nn.Vec
+	var ts []float64
+	for _, ex := range examples {
+		if len(ex.Boxes) == 0 {
+			continue
+		}
+		feats := m.Features(ex.Frame, bg)
+		truth := TruthGrid(ex.Frame.NomW, ex.Frame.NomH, ex.Boxes)
+		for i, f := range feats {
+			xs = append(xs, f)
+			if truth.Pos[i] {
+				ts = append(ts, 1)
+			} else {
+				ts = append(ts, 0)
+			}
+		}
+		acct.Add(costmodel.OpTrainProx, costmodel.ProxyCost(m.ResW, m.ResH)*float64(epochs))
+	}
+	if len(xs) == 0 {
+		return
+	}
+	m.LR.TrainEpochs(xs, ts, epochs, 0.25, 1e-5, rng)
+}
+
+// DefaultResolutions returns the five proxy input resolutions trained for a
+// dataset with the given nominal frame size, as fractions of the nominal
+// resolution (the paper trains 5 models at pre-determined resolutions).
+func DefaultResolutions(nomW, nomH int) [][2]int {
+	fracs := []float64{0.5, 0.375, 0.25, 0.1875, 0.125}
+	out := make([][2]int, len(fracs))
+	for i, f := range fracs {
+		out[i] = [2]int{roundEven(float64(nomW) * f), roundEven(float64(nomH) * f)}
+	}
+	return out
+}
+
+func roundEven(v float64) int {
+	n := int(v + 0.5)
+	if n%2 == 1 {
+		n++
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

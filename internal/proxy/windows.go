@@ -1,0 +1,102 @@
+package proxy
+
+import (
+	"otif/internal/geom"
+)
+
+// SelectWindowSizes chooses the fixed set of detector window sizes W
+// (§3.3): assuming a perfect proxy (positive cells = cells intersecting
+// theta_best detections), it starts with only the full-frame size and
+// greedily adds, from the candidate sizes, the one that most reduces
+// sum_t est(R*(I_t; W)) over the sample frames, until |W| = k.
+//
+// boxesPerFrame holds the theta_best detections for each sampled frame;
+// perPixel/detScale parameterize the detector cost as in NewWindowSet.
+func SelectWindowSizes(nomW, nomH, k int, perPixel, detScale float64, boxesPerFrame [][]geom.Rect) *WindowSet {
+	grids := make([]*Grid, len(boxesPerFrame))
+	for i, boxes := range boxesPerFrame {
+		grids[i] = TruthGrid(nomW, nomH, boxes)
+	}
+
+	candidates := candidateSizes(nomW, nomH)
+	chosen := [][2]int{} // beyond the implicit full-frame entry
+	current := NewWindowSet(nomW, nomH, perPixel, detScale, chosen)
+	currentCost := totalEst(grids, current)
+
+	for len(current.Sizes) < k {
+		bestCost := currentCost
+		bestIdx := -1
+		var bestWS *WindowSet
+		for ci, cand := range candidates {
+			trial := NewWindowSet(nomW, nomH, perPixel, detScale, append(append([][2]int{}, chosen...), cand))
+			if len(trial.Sizes) == len(current.Sizes) {
+				continue // candidate degenerated to full frame
+			}
+			cost := totalEst(grids, trial)
+			if cost < bestCost-1e-12 {
+				bestCost = cost
+				bestIdx = ci
+				bestWS = trial
+			}
+		}
+		if bestIdx == -1 {
+			break // no candidate improves expected runtime
+		}
+		chosen = append(chosen, candidates[bestIdx])
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+		current = bestWS
+		currentCost = bestCost
+	}
+	return current
+}
+
+func totalEst(grids []*Grid, ws *WindowSet) float64 {
+	var total float64
+	for _, g := range grids {
+		total += EstCost(g, ws)
+	}
+	return total
+}
+
+// candidateSizes enumerates window-size candidates: cell-aligned sizes
+// spanning from a few cells up to most of the frame, in both square-ish
+// and wide shapes (traffic objects mostly spread horizontally).
+func candidateSizes(nomW, nomH int) [][2]int {
+	fracs := []struct{ fw, fh float64 }{
+		{0.2, 0.2}, {0.3, 0.3}, {0.45, 0.45}, {0.6, 0.6},
+		{0.35, 0.2}, {0.5, 0.25}, {0.7, 0.35}, {1.0, 0.35},
+		{0.25, 0.5}, {1.0, 0.6}, {0.6, 1.0},
+	}
+	var out [][2]int
+	seen := map[[2]int]bool{}
+	for _, f := range fracs {
+		w := alignCells(int(float64(nomW) * f.fw))
+		h := alignCells(int(float64(nomH) * f.fh))
+		if w >= nomW && h >= nomH {
+			continue
+		}
+		if w > nomW {
+			w = nomW
+		}
+		if h > nomH {
+			h = nomH
+		}
+		s := [2]int{w, h}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// alignCells rounds a size up to a whole number of proxy cells, with a
+// minimum of two cells so windows always cover at least one object-sized
+// region.
+func alignCells(v int) int {
+	cells := (v + CellSize - 1) / CellSize
+	if cells < 2 {
+		cells = 2
+	}
+	return cells * CellSize
+}

@@ -1,0 +1,374 @@
+// Package query is OTIF's post-processing query engine. After the pipeline
+// extracts object tracks from video, every query in the paper — track
+// counts, path (turning-movement) breakdowns, frame-level count / region /
+// hot spot limit queries, hard-braking search, traffic volume — is answered
+// by scanning the stored tracks, with no further video decoding or model
+// inference. On paper-scale datasets these scans take milliseconds, which
+// is the point of tracker pre-processing (§1, §4.2).
+package query
+
+import (
+	"math"
+	"sort"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+)
+
+// Track is one stored object track as produced by the OTIF pipeline: the
+// raw detections plus the (possibly endpoint-refined) spatial path.
+type Track struct {
+	ID       int
+	Category string
+	Dets     []detect.Detection
+	Path     geom.Path // refined path; falls back to detection centers
+}
+
+// FirstFrame returns the first detection's frame index, or -1.
+func (t *Track) FirstFrame() int {
+	if len(t.Dets) == 0 {
+		return -1
+	}
+	return t.Dets[0].FrameIdx
+}
+
+// LastFrame returns the last detection's frame index, or -1.
+func (t *Track) LastFrame() int {
+	if len(t.Dets) == 0 {
+		return -1
+	}
+	return t.Dets[len(t.Dets)-1].FrameIdx
+}
+
+// BoxAt linearly interpolates the track's box at a frame index.
+func (t *Track) BoxAt(frameIdx int) (geom.Rect, bool) {
+	n := len(t.Dets)
+	if n == 0 || frameIdx < t.Dets[0].FrameIdx || frameIdx > t.Dets[n-1].FrameIdx {
+		return geom.Rect{}, false
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := t.Dets[i], t.Dets[i+1]
+		if frameIdx > b.FrameIdx {
+			continue
+		}
+		if b.FrameIdx == a.FrameIdx {
+			return a.Box, true
+		}
+		f := float64(frameIdx-a.FrameIdx) / float64(b.FrameIdx-a.FrameIdx)
+		return geom.Rect{
+			X: a.Box.X + (b.Box.X-a.Box.X)*f,
+			Y: a.Box.Y + (b.Box.Y-a.Box.Y)*f,
+			W: a.Box.W + (b.Box.W-a.Box.W)*f,
+			H: a.Box.H + (b.Box.H-a.Box.H)*f,
+		}, true
+	}
+	return t.Dets[n-1].Box, true
+}
+
+// Context carries the clip geometry queries need.
+type Context struct {
+	FPS        int
+	NomW, NomH int
+	Frames     int // clip length in frames
+}
+
+// ---- Object track queries (§4.1) ----
+
+// CountTracks returns the number of tracks of the given category (all
+// categories when cat is empty). This is the paper's track count query
+// (Amsterdam, Jackson).
+func CountTracks(tracks []*Track, cat string) int {
+	n := 0
+	for _, t := range tracks {
+		if cat == "" || t.Category == cat {
+			n++
+		}
+	}
+	return n
+}
+
+// Movement is one labeled spatial pattern for path breakdown queries: a
+// reference path through the scene (typically a lane of the camera's road
+// network).
+type Movement struct {
+	Name string
+	Path geom.Path
+}
+
+// ClassifyPath assigns a track path to the best-matching movement by the
+// summed distance between the track's endpoints and the movement's
+// endpoints, requiring both within maxEndpointDist; it returns "" when no
+// movement matches. Endpoint matching is what makes reduced-rate tracks
+// need refinement (§3.4).
+func ClassifyPath(p geom.Path, movements []Movement, maxEndpointDist float64) string {
+	if len(p) == 0 {
+		return ""
+	}
+	start, end := p[0], p[len(p)-1]
+	bestName := ""
+	bestDist := math.Inf(1)
+	for _, m := range movements {
+		if len(m.Path) == 0 {
+			continue
+		}
+		ds := start.Dist(m.Path[0])
+		de := end.Dist(m.Path[len(m.Path)-1])
+		if ds > maxEndpointDist || de > maxEndpointDist {
+			continue
+		}
+		if d := ds + de; d < bestDist {
+			bestDist = d
+			bestName = m.Name
+		}
+	}
+	return bestName
+}
+
+// PathBreakdown counts tracks of the given category per movement name
+// (the turning movement count query of §4.1). Tracks that match no
+// movement are omitted.
+func PathBreakdown(tracks []*Track, cat string, movements []Movement, maxEndpointDist float64) map[string]int {
+	out := make(map[string]int, len(movements))
+	for _, m := range movements {
+		out[m.Name] = 0
+	}
+	for _, t := range tracks {
+		if cat != "" && t.Category != cat {
+			continue
+		}
+		if name := ClassifyPath(t.Path, movements, maxEndpointDist); name != "" {
+			out[name]++
+		}
+	}
+	return out
+}
+
+// ---- Frame-level limit queries (§4.2) ----
+
+// FrameMatch is one frame returned by a limit query, with the object boxes
+// that satisfied the predicate.
+type FrameMatch struct {
+	FrameIdx int
+	Boxes    []geom.Rect
+	// MinDuration is the smallest remaining-track duration among the
+	// matched boxes' tracks, used to rank candidate frames (OTIF returns
+	// frames whose visible tracks have the highest minimum duration,
+	// §4.2).
+	MinDuration int
+}
+
+// FramePredicate evaluates a frame-level predicate against the boxes
+// visible in a frame, returning the satisfying boxes and whether the frame
+// matches.
+type FramePredicate interface {
+	Eval(boxes []geom.Rect) ([]geom.Rect, bool)
+}
+
+// CountPredicate matches frames with at least N objects.
+type CountPredicate struct{ N int }
+
+// Eval implements FramePredicate.
+func (p CountPredicate) Eval(boxes []geom.Rect) ([]geom.Rect, bool) {
+	if len(boxes) >= p.N {
+		return boxes, true
+	}
+	return nil, false
+}
+
+// RegionPredicate matches frames with at least N objects whose centers lie
+// in a polygonal region.
+type RegionPredicate struct {
+	Region geom.Polygon
+	N      int
+}
+
+// Eval implements FramePredicate.
+func (p RegionPredicate) Eval(boxes []geom.Rect) ([]geom.Rect, bool) {
+	var in []geom.Rect
+	for _, b := range boxes {
+		if p.Region.Contains(b.Center()) {
+			in = append(in, b)
+		}
+	}
+	if len(in) >= p.N {
+		return in, true
+	}
+	return nil, false
+}
+
+// HotSpotPredicate matches frames where at least N object centers fall in
+// some circular cluster of the given radius.
+type HotSpotPredicate struct {
+	Radius float64
+	N      int
+}
+
+// Eval implements FramePredicate. It checks circles centered at each
+// object center, which finds a qualifying cluster whenever one exists with
+// at most a factor-2 radius relaxation (standard disk-cover argument); the
+// same evaluator is applied to methods and ground truth so comparisons are
+// consistent.
+func (p HotSpotPredicate) Eval(boxes []geom.Rect) ([]geom.Rect, bool) {
+	for _, b := range boxes {
+		c := b.Center()
+		var in []geom.Rect
+		for _, o := range boxes {
+			if c.Dist(o.Center()) <= p.Radius {
+				in = append(in, o)
+			}
+		}
+		if len(in) >= p.N {
+			return in, true
+		}
+	}
+	return nil, false
+}
+
+// VisibleBoxes returns the interpolated boxes of all tracks of the given
+// category visible at frameIdx, along with the owning tracks.
+func VisibleBoxes(tracks []*Track, cat string, frameIdx int) ([]geom.Rect, []*Track) {
+	var boxes []geom.Rect
+	var owners []*Track
+	for _, t := range tracks {
+		if cat != "" && t.Category != cat {
+			continue
+		}
+		if b, ok := t.BoxAt(frameIdx); ok {
+			boxes = append(boxes, b)
+			owners = append(owners, t)
+		}
+	}
+	return boxes, owners
+}
+
+// LimitQuery executes a frame-level limit query over one clip's tracks:
+// it scans frames, evaluates the predicate on the visible boxes, enforces
+// the minimum separation between returned frames, ranks candidates by the
+// minimum remaining duration of their visible tracks (descending), and
+// returns up to limit matches.
+func LimitQuery(tracks []*Track, cat string, pred FramePredicate, ctx Context, limit int, minSepFrames int) []FrameMatch {
+	var cands []FrameMatch
+	for f := 0; f < ctx.Frames; f++ {
+		boxes, owners := VisibleBoxes(tracks, cat, f)
+		matched, ok := pred.Eval(boxes)
+		if !ok {
+			continue
+		}
+		minDur := math.MaxInt32
+		for i, b := range boxes {
+			for _, m := range matched {
+				if b == m {
+					if d := owners[i].LastFrame() - f; d < minDur {
+						minDur = d
+					}
+					break
+				}
+			}
+		}
+		cands = append(cands, FrameMatch{FrameIdx: f, Boxes: matched, MinDuration: minDur})
+	}
+	// Rank by minimum visible-track duration, descending.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].MinDuration > cands[j].MinDuration })
+	var out []FrameMatch
+	for _, c := range cands {
+		if len(out) >= limit {
+			break
+		}
+		ok := true
+		for _, o := range out {
+			if absInt(o.FrameIdx-c.FrameIdx) < minSepFrames {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FrameIdx < out[j].FrameIdx })
+	return out
+}
+
+// ---- Exploratory analytics queries (§3, example queries) ----
+
+// HardBraking returns the tracks whose maximum deceleration exceeds the
+// threshold (nominal px/sec^2), the paper's example query (1).
+func HardBraking(tracks []*Track, ctx Context, decelThreshold float64) []*Track {
+	var out []*Track
+	for _, t := range tracks {
+		if maxDecel(t, ctx.FPS) >= decelThreshold {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// maxDecel estimates the largest speed decrease rate along the track using
+// a smoothed finite-difference of consecutive segment speeds.
+func maxDecel(t *Track, fps int) float64 {
+	n := len(t.Dets)
+	if n < 3 {
+		return 0
+	}
+	speeds := make([]float64, 0, n-1)
+	times := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		dt := float64(t.Dets[i].FrameIdx-t.Dets[i-1].FrameIdx) / float64(fps)
+		if dt <= 0 {
+			continue
+		}
+		d := t.Dets[i].Box.Center().Dist(t.Dets[i-1].Box.Center())
+		speeds = append(speeds, d/dt)
+		times = append(times, float64(t.Dets[i].FrameIdx)/float64(fps))
+	}
+	var worst float64
+	for i := 1; i < len(speeds); i++ {
+		dt := times[i] - times[i-1]
+		if dt <= 0 {
+			continue
+		}
+		if dec := (speeds[i-1] - speeds[i]) / dt; dec > worst {
+			worst = dec
+		}
+	}
+	return worst
+}
+
+// AvgVisible returns the average number of category objects visible per
+// frame over the clip (example query (3)).
+func AvgVisible(tracks []*Track, cat string, ctx Context) float64 {
+	if ctx.Frames == 0 {
+		return 0
+	}
+	var total int
+	for f := 0; f < ctx.Frames; f++ {
+		boxes, _ := VisibleBoxes(tracks, cat, f)
+		total += len(boxes)
+	}
+	return float64(total) / float64(ctx.Frames)
+}
+
+// BusyFrames returns the frames containing at least nA objects of catA and
+// nB of catB (example query (2): "frames with at least three buses and
+// three cars").
+func BusyFrames(tracks []*Track, catA string, nA int, catB string, nB int, ctx Context) []int {
+	var out []int
+	for f := 0; f < ctx.Frames; f++ {
+		a, _ := VisibleBoxes(tracks, catA, f)
+		if len(a) < nA {
+			continue
+		}
+		b, _ := VisibleBoxes(tracks, catB, f)
+		if len(b) >= nB {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"testing"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+)
+
+func mkTrack(id int, cat string, startFrame, n, step int, x0, y0, vx, vy float64) *Track {
+	t := &Track{ID: id, Category: cat}
+	for i := 0; i < n; i++ {
+		f := startFrame + i*step
+		t.Dets = append(t.Dets, detect.Detection{
+			FrameIdx: f,
+			Box:      geom.Rect{X: x0 + vx*float64(i*step), Y: y0 + vy*float64(i*step), W: 40, H: 20},
+			Category: cat,
+		})
+	}
+	t.Path = make(geom.Path, len(t.Dets))
+	for i, d := range t.Dets {
+		t.Path[i] = d.Box.Center()
+	}
+	return t
+}
+
+func TestCountTracks(t *testing.T) {
+	tracks := []*Track{
+		mkTrack(0, "car", 0, 5, 1, 0, 0, 10, 0),
+		mkTrack(1, "bus", 0, 5, 1, 0, 100, 10, 0),
+		mkTrack(2, "car", 0, 5, 1, 0, 200, 10, 0),
+	}
+	if got := CountTracks(tracks, "car"); got != 2 {
+		t.Errorf("CountTracks(car) = %d", got)
+	}
+	if got := CountTracks(tracks, ""); got != 3 {
+		t.Errorf("CountTracks(all) = %d", got)
+	}
+	if got := CountTracks(tracks, "pedestrian"); got != 0 {
+		t.Errorf("CountTracks(ped) = %d", got)
+	}
+}
+
+func TestClassifyPath(t *testing.T) {
+	movements := []Movement{
+		{Name: "W->E", Path: geom.Path{{X: 0, Y: 100}, {X: 600, Y: 100}}},
+		{Name: "E->W", Path: geom.Path{{X: 600, Y: 100}, {X: 0, Y: 100}}},
+	}
+	east := geom.Path{{X: 10, Y: 105}, {X: 300, Y: 100}, {X: 590, Y: 95}}
+	if got := ClassifyPath(east, movements, 100); got != "W->E" {
+		t.Errorf("ClassifyPath = %q", got)
+	}
+	west := geom.Path{{X: 590, Y: 100}, {X: 10, Y: 100}}
+	if got := ClassifyPath(west, movements, 100); got != "E->W" {
+		t.Errorf("ClassifyPath = %q", got)
+	}
+	// Track stopping mid-frame matches nothing.
+	partial := geom.Path{{X: 10, Y: 100}, {X: 250, Y: 100}}
+	if got := ClassifyPath(partial, movements, 100); got != "" {
+		t.Errorf("partial path classified as %q", got)
+	}
+	if got := ClassifyPath(nil, movements, 100); got != "" {
+		t.Error("empty path should classify as nothing")
+	}
+}
+
+func TestPathBreakdown(t *testing.T) {
+	movements := []Movement{
+		{Name: "W->E", Path: geom.Path{{X: 0, Y: 100}, {X: 600, Y: 100}}},
+		{Name: "E->W", Path: geom.Path{{X: 600, Y: 200}, {X: 0, Y: 200}}},
+	}
+	tracks := []*Track{
+		mkTrack(0, "car", 0, 31, 1, -20, 90, 20, 0),   // W->E
+		mkTrack(1, "car", 0, 31, 1, 580, 190, -20, 0), // E->W
+		mkTrack(2, "bus", 0, 31, 1, -20, 90, 20, 0),   // W->E but a bus
+	}
+	got := PathBreakdown(tracks, "car", movements, 100)
+	if got["W->E"] != 1 || got["E->W"] != 1 {
+		t.Errorf("PathBreakdown = %v", got)
+	}
+	all := PathBreakdown(tracks, "", movements, 100)
+	if all["W->E"] != 2 {
+		t.Errorf("PathBreakdown all = %v", all)
+	}
+}
+
+func TestBoxAtAndVisibleBoxes(t *testing.T) {
+	tracks := []*Track{
+		mkTrack(0, "car", 0, 11, 1, 0, 0, 10, 0),
+		mkTrack(1, "car", 20, 5, 1, 0, 100, 10, 0),
+	}
+	boxes, owners := VisibleBoxes(tracks, "car", 5)
+	if len(boxes) != 1 || owners[0].ID != 0 {
+		t.Errorf("VisibleBoxes(5) = %v", boxes)
+	}
+	boxes, _ = VisibleBoxes(tracks, "car", 22)
+	if len(boxes) != 1 {
+		t.Errorf("VisibleBoxes(22) = %v", boxes)
+	}
+	boxes, _ = VisibleBoxes(tracks, "car", 15)
+	if len(boxes) != 0 {
+		t.Errorf("VisibleBoxes(15) = %v", boxes)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	boxes := []geom.Rect{
+		{X: 0, Y: 0, W: 10, H: 10},
+		{X: 5, Y: 5, W: 10, H: 10},
+		{X: 300, Y: 300, W: 10, H: 10},
+	}
+	if _, ok := (CountPredicate{N: 3}).Eval(boxes); !ok {
+		t.Error("count >= 3 should match")
+	}
+	if _, ok := (CountPredicate{N: 4}).Eval(boxes); ok {
+		t.Error("count >= 4 should not match")
+	}
+
+	region := geom.Polygon{{X: -1, Y: -1}, {X: 50, Y: -1}, {X: 50, Y: 50}, {X: -1, Y: 50}}
+	in, ok := (RegionPredicate{Region: region, N: 2}).Eval(boxes)
+	if !ok || len(in) != 2 {
+		t.Errorf("region predicate = %v, %v", in, ok)
+	}
+	if _, ok := (RegionPredicate{Region: region, N: 3}).Eval(boxes); ok {
+		t.Error("region should contain only 2")
+	}
+
+	in, ok = (HotSpotPredicate{Radius: 20, N: 2}).Eval(boxes)
+	if !ok || len(in) != 2 {
+		t.Errorf("hotspot = %v, %v", in, ok)
+	}
+	if _, ok := (HotSpotPredicate{Radius: 20, N: 3}).Eval(boxes); ok {
+		t.Error("no 3-cluster within radius 20")
+	}
+}
+
+func TestLimitQuery(t *testing.T) {
+	// One long track visible frames 0-100, one short visible 50-54.
+	tracks := []*Track{
+		mkTrack(0, "car", 0, 101, 1, 0, 0, 1, 0),
+		mkTrack(1, "car", 50, 5, 1, 0, 100, 1, 0),
+	}
+	ctx := Context{FPS: 10, NomW: 640, NomH: 480, Frames: 101}
+	// Frames with >= 2 cars are 50..54.
+	out := LimitQuery(tracks, "car", CountPredicate{N: 2}, ctx, 10, 10)
+	if len(out) != 1 {
+		t.Fatalf("limit query returned %d frames, want 1 (5 matches within min separation)", len(out))
+	}
+	if out[0].FrameIdx < 50 || out[0].FrameIdx > 54 {
+		t.Errorf("returned frame %d outside matching range", out[0].FrameIdx)
+	}
+	// Limit respected with smaller separation.
+	out = LimitQuery(tracks, "car", CountPredicate{N: 2}, ctx, 2, 2)
+	if len(out) != 2 {
+		t.Errorf("limit 2 returned %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].FrameIdx-out[i-1].FrameIdx < 2 {
+			t.Error("separation violated")
+		}
+	}
+}
+
+func TestHardBraking(t *testing.T) {
+	ctx := Context{FPS: 10, Frames: 100}
+	steady := mkTrack(0, "car", 0, 50, 1, 0, 0, 10, 0)
+	// Braking: speed 20 px/frame then 2 px/frame.
+	braking := &Track{ID: 1, Category: "car"}
+	x := 0.0
+	for f := 0; f < 50; f++ {
+		v := 20.0
+		if f >= 25 {
+			v = 2
+		}
+		x += v
+		braking.Dets = append(braking.Dets, detect.Detection{
+			FrameIdx: f, Box: geom.Rect{X: x, Y: 0, W: 40, H: 20}, Category: "car",
+		})
+	}
+	out := HardBraking([]*Track{steady, braking}, ctx, 100)
+	if len(out) != 1 || out[0].ID != 1 {
+		t.Errorf("HardBraking = %v", ids(out))
+	}
+	// A huge threshold matches nothing.
+	if got := HardBraking([]*Track{steady, braking}, ctx, 1e9); len(got) != 0 {
+		t.Error("impossible threshold matched tracks")
+	}
+}
+
+func ids(ts []*Track) []int {
+	var out []int
+	for _, t := range ts {
+		out = append(out, t.ID)
+	}
+	return out
+}
+
+func TestAvgVisible(t *testing.T) {
+	ctx := Context{FPS: 10, Frames: 10}
+	tracks := []*Track{mkTrack(0, "car", 0, 10, 1, 0, 0, 1, 0)} // visible frames 0..9
+	got := AvgVisible(tracks, "car", ctx)
+	if got != 1 {
+		t.Errorf("AvgVisible = %v, want 1", got)
+	}
+	if AvgVisible(nil, "car", Context{}) != 0 {
+		t.Error("zero frames should yield 0")
+	}
+}
+
+func TestBusyFrames(t *testing.T) {
+	ctx := Context{FPS: 10, Frames: 20}
+	tracks := []*Track{
+		mkTrack(0, "car", 0, 20, 1, 0, 0, 1, 0),
+		mkTrack(1, "car", 5, 10, 1, 0, 50, 1, 0),
+		mkTrack(2, "bus", 8, 4, 1, 0, 100, 1, 0),
+	}
+	out := BusyFrames(tracks, "car", 2, "bus", 1, ctx)
+	// Frames with 2 cars (5..14) AND 1 bus (8..11): 8..11.
+	if len(out) != 4 || out[0] != 8 || out[3] != 11 {
+		t.Errorf("BusyFrames = %v", out)
+	}
+}

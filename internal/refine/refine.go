@@ -1,0 +1,318 @@
+// Package refine implements OTIF's track endpoint refinement (§3.4). When
+// video is tracked at a large sampling gap, the first and last detections
+// of a track are offset from where the object actually entered and left the
+// scene, which breaks spatial predicates such as turning-movement counts.
+// Instead of decoding extra frames (Miris' approach, too expensive when
+// extracting all tracks), OTIF clusters the training-set tracks S* with
+// DBSCAN, indexes the cluster centers spatially, and extends each extracted
+// track's start and end to the size-weighted median of the endpoints of its
+// k = 10 nearest clusters.
+package refine
+
+import (
+	"math"
+	"sort"
+
+	"otif/internal/geom"
+)
+
+// PathSamples is the number of evenly spaced points used to compare tracks
+// (N = 20 in the paper).
+const PathSamples = 20
+
+// Cluster is a DBSCAN cluster of training tracks represented by its center
+// path (the pointwise mean of the member tracks' resampled paths).
+type Cluster struct {
+	Center geom.Path // PathSamples points
+	Size   int       // number of member tracks
+}
+
+// DBSCANOptions configures track clustering.
+type DBSCANOptions struct {
+	// Eps is the neighborhood radius under the mean point-distance metric
+	// (nominal pixels).
+	Eps float64
+	// MinPts is the minimum neighborhood size for a core track.
+	MinPts int
+}
+
+// DefaultDBSCANOptions returns clustering defaults suited to nominal
+// coordinates on the simulated datasets.
+func DefaultDBSCANOptions() DBSCANOptions { return DBSCANOptions{Eps: 60, MinPts: 2} }
+
+// DBSCAN clusters the tracks (as paths) under the mean corresponding-point
+// distance d(s1, s2) and returns one Cluster per dense group. Noise tracks
+// (not density-reachable from any core track) are discarded: they are
+// mostly clip-boundary-truncated fragments whose endpoints would poison
+// the refinement medians.
+func DBSCAN(paths []geom.Path, opts DBSCANOptions) []*Cluster {
+	n := len(paths)
+	if n == 0 {
+		return nil
+	}
+	resampled := make([]geom.Path, n)
+	for i, p := range paths {
+		resampled[i] = p.Resample(PathSamples)
+	}
+	dist := func(i, j int) float64 {
+		var total float64
+		for k := 0; k < PathSamples; k++ {
+			total += resampled[i][k].Dist(resampled[j][k])
+		}
+		return total / PathSamples
+	}
+
+	const (
+		unvisited = 0
+		noise     = -1
+	)
+	labels := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
+	nextID := 1
+
+	neighborsOf := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if j != i && dist(i, j) <= opts.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neigh := neighborsOf(i)
+		if len(neigh)+1 < opts.MinPts {
+			labels[i] = noise
+			continue
+		}
+		id := nextID
+		nextID++
+		labels[i] = id
+		queue := append([]int{}, neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == noise {
+				labels[j] = id // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = id
+			jNeigh := neighborsOf(j)
+			if len(jNeigh)+1 >= opts.MinPts {
+				queue = append(queue, jNeigh...)
+			}
+		}
+	}
+
+	// Build clusters; noise points are dropped.
+	byID := map[int][]int{}
+	for i, l := range labels {
+		if l != noise {
+			byID[l] = append(byID[l], i)
+		}
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	clusters := make([]*Cluster, 0, len(ids))
+	for _, id := range ids {
+		members := byID[id]
+		center := make(geom.Path, PathSamples)
+		for k := 0; k < PathSamples; k++ {
+			var sx, sy float64
+			for _, m := range members {
+				sx += resampled[m][k].X
+				sy += resampled[m][k].Y
+			}
+			center[k] = geom.Point{X: sx / float64(len(members)), Y: sy / float64(len(members))}
+		}
+		clusters = append(clusters, &Cluster{Center: center, Size: len(members)})
+	}
+	return clusters
+}
+
+// Index is a uniform-grid spatial index over cluster centers, used to find
+// clusters passing near a track's first and last detections without
+// computing distances to every cluster.
+type Index struct {
+	clusters []*Cluster
+	cellSize float64
+	cells    map[[2]int][]int // cell -> cluster indices whose center passes through
+}
+
+// NewIndex builds the spatial index with the given grid cell size (nominal
+// pixels).
+func NewIndex(clusters []*Cluster, cellSize float64) *Index {
+	idx := &Index{clusters: clusters, cellSize: cellSize, cells: map[[2]int][]int{}}
+	for ci, c := range clusters {
+		seen := map[[2]int]bool{}
+		for _, p := range c.Center {
+			cell := [2]int{int(math.Floor(p.X / cellSize)), int(math.Floor(p.Y / cellSize))}
+			if !seen[cell] {
+				seen[cell] = true
+				idx.cells[cell] = append(idx.cells[cell], ci)
+			}
+		}
+	}
+	return idx
+}
+
+// Near returns the indices of clusters whose center passes within roughly
+// radius of p (via grid cells; a superset filter, not an exact test).
+func (idx *Index) Near(p geom.Point, radius float64) []int {
+	r := int(math.Ceil(radius / idx.cellSize))
+	cx := int(math.Floor(p.X / idx.cellSize))
+	cy := int(math.Floor(p.Y / idx.cellSize))
+	seen := map[int]bool{}
+	var out []int
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			for _, ci := range idx.cells[[2]int{cx + dx, cy + dy}] {
+				if !seen[ci] {
+					seen[ci] = true
+					out = append(out, ci)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Refiner refines track endpoints against an indexed cluster set.
+type Refiner struct {
+	Clusters []*Cluster
+	Idx      *Index
+	// K is the number of nearest clusters used (k = 10 in the paper).
+	K int
+	// SearchRadius bounds the index lookup around the track endpoints.
+	SearchRadius float64
+	// MaxDist is the largest mean path distance at which a cluster may
+	// inform refinement.
+	MaxDist float64
+}
+
+// NewRefiner clusters the training tracks and builds the index.
+func NewRefiner(trainPaths []geom.Path, opts DBSCANOptions) *Refiner {
+	clusters := DBSCAN(trainPaths, opts)
+	return &Refiner{
+		Clusters:     clusters,
+		Idx:          NewIndex(clusters, 64),
+		K:            10,
+		SearchRadius: 160,
+		MaxDist:      2.5 * opts.Eps,
+	}
+}
+
+// RefineEndpoints returns the estimated true start and end points for a
+// track captured at a reduced rate: the size-weighted median of the start
+// and end points of the K nearest clusters (by mean path distance) among
+// clusters passing near the track's endpoints. ok is false when no cluster
+// is close enough to inform refinement.
+func (r *Refiner) RefineEndpoints(track geom.Path) (start, end geom.Point, ok bool) {
+	if len(r.Clusters) == 0 || len(track) == 0 {
+		return geom.Point{}, geom.Point{}, false
+	}
+	first := track[0]
+	last := track[len(track)-1]
+	cand := map[int]bool{}
+	for _, ci := range r.Idx.Near(first, r.SearchRadius) {
+		cand[ci] = true
+	}
+	for _, ci := range r.Idx.Near(last, r.SearchRadius) {
+		cand[ci] = true
+	}
+	if len(cand) == 0 {
+		return geom.Point{}, geom.Point{}, false
+	}
+	type scored struct {
+		ci   int
+		dist float64
+	}
+	var scoredList []scored
+	for ci := range cand {
+		d := geom.PathDist(track, r.Clusters[ci].Center, PathSamples)
+		scoredList = append(scoredList, scored{ci, d})
+	}
+	sort.Slice(scoredList, func(i, j int) bool { return scoredList[i].dist < scoredList[j].dist })
+	// Keep only clusters genuinely similar to the track: a cluster whose
+	// path runs in the opposite direction (or through a different part of
+	// the scene) has a large mean corresponding-point distance and must
+	// not contribute to the endpoint median.
+	cut := len(scoredList)
+	for i, s := range scoredList {
+		if s.dist > r.MaxDist {
+			cut = i
+			break
+		}
+	}
+	scoredList = scoredList[:cut]
+	if len(scoredList) == 0 {
+		return geom.Point{}, geom.Point{}, false
+	}
+	if len(scoredList) > r.K {
+		scoredList = scoredList[:r.K]
+	}
+
+	var starts, ends []geom.Point
+	var weights []float64
+	for _, s := range scoredList {
+		c := r.Clusters[s.ci]
+		starts = append(starts, c.Center[0])
+		ends = append(ends, c.Center[len(c.Center)-1])
+		weights = append(weights, float64(c.Size))
+	}
+	start = geom.Point{
+		X: weightedMedian(xs(starts), weights),
+		Y: weightedMedian(ys(starts), weights),
+	}
+	end = geom.Point{
+		X: weightedMedian(xs(ends), weights),
+		Y: weightedMedian(ys(ends), weights),
+	}
+	return start, end, true
+}
+
+func xs(ps []geom.Point) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.X
+	}
+	return out
+}
+
+func ys(ps []geom.Point) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.Y
+	}
+	return out
+}
+
+// weightedMedian returns the weighted median of vals.
+func weightedMedian(vals, weights []float64) float64 {
+	type pair struct{ v, w float64 }
+	ps := make([]pair, len(vals))
+	var total float64
+	for i := range vals {
+		ps[i] = pair{vals[i], weights[i]}
+		total += weights[i]
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	var cum float64
+	for _, p := range ps {
+		cum += p.w
+		if cum >= total/2 {
+			return p.v
+		}
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	return ps[len(ps)-1].v
+}

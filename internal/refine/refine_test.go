@@ -1,0 +1,166 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otif/internal/geom"
+)
+
+// lanePaths generates n noisy copies of a straight path from a to b.
+func lanePaths(rng *rand.Rand, n int, a, b geom.Point) []geom.Path {
+	var out []geom.Path
+	for i := 0; i < n; i++ {
+		var p geom.Path
+		for k := 0; k <= 10; k++ {
+			t := float64(k) / 10
+			pt := a.Lerp(b, t)
+			pt.X += rng.NormFloat64() * 3
+			pt.Y += rng.NormFloat64() * 3
+			p = append(p, pt)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestDBSCANGroupsSimilarTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var paths []geom.Path
+	paths = append(paths, lanePaths(rng, 5, geom.Point{X: 0, Y: 100}, geom.Point{X: 600, Y: 100})...)
+	paths = append(paths, lanePaths(rng, 5, geom.Point{X: 600, Y: 300}, geom.Point{X: 0, Y: 300})...)
+	clusters := DBSCAN(paths, DBSCANOptions{Eps: 40, MinPts: 2})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Size != 5 {
+			t.Errorf("cluster size = %d, want 5", c.Size)
+		}
+		if len(c.Center) != PathSamples {
+			t.Errorf("center has %d points", len(c.Center))
+		}
+	}
+}
+
+func TestDBSCANDropsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	paths := lanePaths(rng, 4, geom.Point{X: 0, Y: 100}, geom.Point{X: 600, Y: 100})
+	// One lone fragment far away.
+	paths = append(paths, geom.Path{{X: 300, Y: 500}, {X: 350, Y: 500}})
+	clusters := DBSCAN(paths, DBSCANOptions{Eps: 40, MinPts: 2})
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 (noise dropped)", len(clusters))
+	}
+}
+
+func TestDBSCANEmpty(t *testing.T) {
+	if DBSCAN(nil, DefaultDBSCANOptions()) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestDBSCANMembershipSoundProperty(t *testing.T) {
+	// Every cluster member is within Eps of some other member (MinPts=2
+	// density), which implies the center lies within the cluster spread.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var paths []geom.Path
+		paths = append(paths, lanePaths(rng, rng.Intn(4)+2, geom.Point{X: 0, Y: 50}, geom.Point{X: 400, Y: 60})...)
+		paths = append(paths, lanePaths(rng, rng.Intn(4)+2, geom.Point{X: 400, Y: 300}, geom.Point{X: 0, Y: 280})...)
+		clusters := DBSCAN(paths, DBSCANOptions{Eps: 50, MinPts: 2})
+		total := 0
+		for _, c := range clusters {
+			total += c.Size
+			// Center path length bounded by member extent.
+			if len(c.Center) != PathSamples {
+				return false
+			}
+		}
+		return total <= len(paths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexNear(t *testing.T) {
+	clusters := []*Cluster{
+		{Center: geom.Path{{X: 10, Y: 10}, {X: 20, Y: 10}}.Resample(PathSamples), Size: 3},
+		{Center: geom.Path{{X: 500, Y: 500}, {X: 510, Y: 500}}.Resample(PathSamples), Size: 2},
+	}
+	idx := NewIndex(clusters, 64)
+	near := idx.Near(geom.Point{X: 15, Y: 12}, 30)
+	found := false
+	for _, ci := range near {
+		if ci == 0 {
+			found = true
+		}
+		if ci == 1 {
+			t.Error("far cluster returned for a near lookup")
+		}
+	}
+	if !found {
+		t.Error("near cluster not found")
+	}
+}
+
+func TestRefineEndpointsExtendsTruncatedTrack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Training tracks span the full lane [0, 600].
+	paths := lanePaths(rng, 6, geom.Point{X: 0, Y: 100}, geom.Point{X: 600, Y: 100})
+	r := NewRefiner(paths, DBSCANOptions{Eps: 40, MinPts: 2})
+
+	// A reduced-rate track only observed over [150, 450].
+	partial := geom.Path{{X: 150, Y: 100}, {X: 300, Y: 100}, {X: 450, Y: 100}}
+	start, end, ok := r.RefineEndpoints(partial)
+	if !ok {
+		t.Fatal("refinement found no clusters")
+	}
+	if start.X > 60 {
+		t.Errorf("refined start x = %v, want near 0", start.X)
+	}
+	if end.X < 540 {
+		t.Errorf("refined end x = %v, want near 600", end.X)
+	}
+}
+
+func TestRefineRejectsOppositeDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Only a west-to-east lane in training.
+	paths := lanePaths(rng, 6, geom.Point{X: 0, Y: 100}, geom.Point{X: 600, Y: 100})
+	r := NewRefiner(paths, DBSCANOptions{Eps: 40, MinPts: 2})
+	// An east-to-west track: its reversed correspondence distance is huge.
+	reversed := geom.Path{{X: 450, Y: 100}, {X: 300, Y: 100}, {X: 150, Y: 100}}
+	if _, _, ok := r.RefineEndpoints(reversed); ok {
+		t.Error("opposite-direction track must not be refined from this lane")
+	}
+}
+
+func TestRefineEmpty(t *testing.T) {
+	r := NewRefiner(nil, DefaultDBSCANOptions())
+	if _, _, ok := r.RefineEndpoints(geom.Path{{X: 1, Y: 1}}); ok {
+		t.Error("no clusters should refine nothing")
+	}
+	rng := rand.New(rand.NewSource(5))
+	r2 := NewRefiner(lanePaths(rng, 4, geom.Point{X: 0, Y: 0}, geom.Point{X: 100, Y: 0}), DBSCANOptions{Eps: 40, MinPts: 2})
+	if _, _, ok := r2.RefineEndpoints(nil); ok {
+		t.Error("empty track should refine nothing")
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	got := weightedMedian([]float64{1, 2, 3}, []float64{1, 1, 1})
+	if got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	// Heavy weight dominates.
+	got = weightedMedian([]float64{1, 100}, []float64{10, 1})
+	if got != 1 {
+		t.Errorf("weighted median = %v, want 1", got)
+	}
+	if weightedMedian(nil, nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}

@@ -1,0 +1,127 @@
+package track
+
+import "math"
+
+// Hungarian solves the rectangular assignment problem: given an n x m cost
+// matrix, it returns for each row the assigned column (or -1), minimizing
+// total cost. It implements the O(n^2 m) shortest augmenting path variant
+// of the Hungarian algorithm with row/column potentials.
+//
+// Trackers use it to match detections to track prefixes from the matching
+// scores p_{i,j}: costs are -log(p) so the assignment maximizes the joint
+// match likelihood.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	transposed := false
+	if n > m {
+		// The algorithm below requires rows <= cols; transpose if needed.
+		t := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = cost[i][j]
+			}
+		}
+		cost = t
+		n, m = m, n
+		transposed = true
+	}
+
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row assigned to column j (1-based, 0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	rowAssign := make([]int, n)
+	for i := range rowAssign {
+		rowAssign[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowAssign[p[j]-1] = j - 1
+		}
+	}
+	if !transposed {
+		return rowAssign
+	}
+	// Undo the transpose: rowAssign maps columns to original rows.
+	orig := make([]int, m)
+	for i := range orig {
+		orig[i] = -1
+	}
+	for col, row := range rowAssign {
+		if row >= 0 {
+			orig[row] = col
+		}
+	}
+	return orig
+}
+
+// AssignWithThreshold runs Hungarian on the cost matrix and then discards
+// assignments whose cost exceeds maxCost, returning row -> column (-1 for
+// unassigned). Entries at or above blockCost are treated as forbidden and
+// never assigned.
+func AssignWithThreshold(cost [][]float64, maxCost, blockCost float64) []int {
+	assign := Hungarian(cost)
+	for i, j := range assign {
+		if j >= 0 && (cost[i][j] > maxCost || cost[i][j] >= blockCost) {
+			assign[i] = -1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,174 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce finds the optimal assignment by exhaustive permutation search
+// (rows <= cols required).
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	m := len(cost[0])
+	cols := make([]int, m)
+	for i := range cols {
+		cols[i] = i
+	}
+	best := math.Inf(1)
+	var permute func(chosen []int, used []bool)
+	permute = func(chosen []int, used []bool) {
+		if len(chosen) == n {
+			var total float64
+			for i, j := range chosen {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			permute(append(chosen, j), used)
+			used[j] = false
+		}
+	}
+	permute(nil, make([]bool, m))
+	return best
+}
+
+func assignCost(cost [][]float64, assign []int) float64 {
+	var total float64
+	for i, j := range assign {
+		if j >= 0 {
+			total += cost[i][j]
+		}
+	}
+	return total
+}
+
+func TestHungarianKnownCase(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := Hungarian(cost)
+	if got := assignCost(cost, assign); got != 5 {
+		t.Errorf("cost = %v, want 5 (assignment %v)", got, assign)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if Hungarian(nil) != nil {
+		t.Error("empty matrix should return nil")
+	}
+}
+
+func TestHungarianRectangularTall(t *testing.T) {
+	// More rows than columns: some rows stay unassigned.
+	cost := [][]float64{
+		{1},
+		{2},
+		{3},
+	}
+	assign := Hungarian(cost)
+	assigned := 0
+	for _, j := range assign {
+		if j >= 0 {
+			assigned++
+		}
+	}
+	if assigned != 1 {
+		t.Errorf("assigned %d rows, want 1", assigned)
+	}
+	if assign[0] != 0 {
+		t.Errorf("cheapest row should win: %v", assign)
+	}
+}
+
+func TestHungarianRectangularWide(t *testing.T) {
+	cost := [][]float64{
+		{5, 1, 9},
+	}
+	assign := Hungarian(cost)
+	if assign[0] != 1 {
+		t.Errorf("assign = %v, want column 1", assign)
+	}
+}
+
+func TestHungarianOptimalProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%5) + 1
+		m := int(mRaw%5) + 1
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		assign := Hungarian(cost)
+		// Validity: assigned columns unique, full assignment of min(n,m).
+		seen := map[int]bool{}
+		assigned := 0
+		for _, j := range assign {
+			if j < 0 {
+				continue
+			}
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+			assigned++
+		}
+		if assigned != minInt(n, m) {
+			return false
+		}
+		if n <= m {
+			want := bruteForce(cost)
+			return math.Abs(assignCost(cost, assign)-want) < 1e-9
+		}
+		// Transposed brute force.
+		tr := make([][]float64, m)
+		for j := range tr {
+			tr[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		want := bruteForce(tr)
+		return math.Abs(assignCost(cost, assign)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAssignWithThreshold(t *testing.T) {
+	const blocked = 1e6
+	cost := [][]float64{
+		{0.1, blocked},
+		{blocked, 3.0},
+	}
+	assign := AssignWithThreshold(cost, 1.0, blocked)
+	if assign[0] != 0 {
+		t.Errorf("row 0 should match column 0: %v", assign)
+	}
+	if assign[1] != -1 {
+		t.Errorf("row 1 cost exceeds threshold, should be unassigned: %v", assign)
+	}
+}

@@ -1,0 +1,196 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"otif/internal/costmodel"
+	"otif/internal/detect"
+	"otif/internal/nn"
+)
+
+// RecurrentModel is the learned matching model of OTIF's recurrent
+// reduced-rate tracker (§3.4). A GRU cell folds the detection-level
+// features of a track prefix into a track-level feature vector; a matching
+// MLP scores how likely a new detection continues that track.
+type RecurrentModel struct {
+	Hidden int
+	GRU    *nn.GRUCell
+	Match  *nn.MLP
+	NomW   int
+	NomH   int
+	FPS    int
+}
+
+// NewRecurrentModel creates an untrained recurrent tracking model for the
+// given frame geometry and framerate.
+func NewRecurrentModel(nomW, nomH, fps int, rng *rand.Rand) *RecurrentModel {
+	const hidden = 16
+	return &RecurrentModel{
+		Hidden: hidden,
+		GRU:    nn.NewGRUCell(FeatDim, hidden, rng),
+		Match:  nn.NewMLP([]int{hidden + FeatDim + MotionDim, 24, 1}, nn.ReLUAct, nn.SigmoidAct, rng),
+		NomW:   nomW,
+		NomH:   nomH,
+		FPS:    fps,
+	}
+}
+
+// Score returns the matching probability p_{i,j} between the track-level
+// features (GRU state h plus motion-delta features) and a detection
+// feature vector f.
+func (m *RecurrentModel) Score(h, f, motion nn.Vec) float64 {
+	return m.Match.Forward(nn.Concat(h, f, motion))[0]
+}
+
+// RecurrentTracker applies a trained RecurrentModel online at a fixed
+// sampling gap: on each processed frame it scores every (active track,
+// detection) pair, solves the assignment, extends matched tracks, starts
+// new tracks from unmatched detections, and terminates tracks that go
+// unmatched for MaxMisses consecutive processed frames.
+type RecurrentTracker struct {
+	Model *RecurrentModel
+	// MinProb is the minimum matching probability for a valid
+	// association.
+	MinProb float64
+	// MaxMisses is how many processed frames a track survives unmatched.
+	MaxMisses int
+	// MaxSpeed (nominal px/sec) gates implausible associations: a
+	// detection further from the track's last box than MaxSpeed * dt
+	// plus a slack term can never match. This mirrors the spatial
+	// locality that a learned CNN matcher absorbs from data.
+	MaxSpeed float64
+	// Acct is charged TrackerPerAssoc per scored pair.
+	Acct *costmodel.Accountant
+
+	active []*recTrack
+	done   []*Track
+
+	// lastConf is the minimum matching probability among the previous
+	// Update's accepted associations (1 when there were none). The
+	// variable-rate execution mode uses it to decide whether the gap can
+	// grow (§3.4 of the paper discusses this Miris-style policy; OTIF
+	// defaults to a fixed gap after finding the two comparable).
+	lastConf float64
+}
+
+type recTrack struct {
+	track  Track
+	hidden nn.Vec
+	misses int
+}
+
+// NewRecurrentTracker wraps a trained model with the default inference
+// settings.
+func NewRecurrentTracker(model *RecurrentModel, acct *costmodel.Accountant) *RecurrentTracker {
+	return &RecurrentTracker{
+		Model:     model,
+		MinProb:   0.5,
+		MaxMisses: 2,
+		MaxSpeed:  500,
+		Acct:      acct,
+	}
+}
+
+// Update implements Tracker.
+func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
+	m := r.Model
+	r.lastConf = 1
+	feats := make([]nn.Vec, len(dets))
+	for j, d := range dets {
+		feats[j] = DetFeatures(d, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
+	}
+	if len(r.active) == 0 {
+		for _, d := range dets {
+			r.start(d)
+		}
+		return
+	}
+
+	const blocked = 1e6
+	maxDisp := r.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
+	cost := make([][]float64, len(r.active))
+	for i, tr := range r.active {
+		cost[i] = make([]float64, len(dets))
+		last := tr.track.Dets[len(tr.track.Dets)-1].Box.Center()
+		for j, d := range dets {
+			if last.Dist(d.Box.Center()) > maxDisp {
+				cost[i][j] = blocked
+				continue
+			}
+			r.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc)
+			motion := MotionFeatures(tr.track.Dets, d, m.NomW, m.NomH)
+			p := m.Score(tr.hidden, feats[j], motion)
+			cost[i][j] = -math.Log(math.Max(p, 1e-9))
+		}
+	}
+	maxCost := -math.Log(r.MinProb)
+	assign := AssignWithThreshold(cost, maxCost, blocked)
+
+	usedDet := make([]bool, len(dets))
+	var remaining []*recTrack
+	for i, tr := range r.active {
+		j := assign[i]
+		if j < 0 {
+			tr.misses++
+			if tr.misses > r.MaxMisses {
+				r.done = append(r.done, cloneTrack(&tr.track))
+			} else {
+				remaining = append(remaining, tr)
+			}
+			continue
+		}
+		usedDet[j] = true
+		if p := math.Exp(-cost[i][j]); p < r.lastConf {
+			r.lastConf = p
+		}
+		tr.track.Dets = append(tr.track.Dets, dets[j])
+		tr.hidden, _ = m.GRU.Step(tr.hidden, feats[j])
+		tr.misses = 0
+		remaining = append(remaining, tr)
+	}
+	r.active = remaining
+	for j, d := range dets {
+		if !usedDet[j] {
+			r.start(d)
+		}
+	}
+}
+
+// start opens a new track. The first detection's feature uses
+// t_elapsed = 0, matching how training prefixes begin.
+func (r *RecurrentTracker) start(d detect.Detection) {
+	feat := DetFeatures(d, r.Model.NomW, r.Model.NomH, r.Model.FPS, 0)
+	h := nn.NewVec(r.Model.Hidden)
+	h, _ = r.Model.GRU.Step(h, feat)
+	r.active = append(r.active, &recTrack{
+		track:  Track{Dets: []detect.Detection{d}},
+		hidden: h,
+	})
+}
+
+// LastConfidence returns the minimum accepted matching probability of the
+// most recent Update (1 if nothing was matched).
+func (r *RecurrentTracker) LastConfidence() float64 {
+	if r.lastConf == 0 {
+		return 1
+	}
+	return r.lastConf
+}
+
+// Finish implements Tracker.
+func (r *RecurrentTracker) Finish() []*Track {
+	for _, tr := range r.active {
+		r.done = append(r.done, cloneTrack(&tr.track))
+	}
+	r.active = nil
+	out := r.done
+	r.done = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstFrame() < out[j].FirstFrame() })
+	for i, t := range out {
+		t.ID = i
+		t.Category = t.MajorityCategory()
+	}
+	return out
+}

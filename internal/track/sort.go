@@ -1,0 +1,133 @@
+package track
+
+import (
+	"math"
+	"sort"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+)
+
+// SORT is the heuristic Simple Online and Realtime Tracking baseline
+// (Bewley et al. 2016) used by OTIF's best-accuracy configuration
+// theta_best before the learned trackers are trained (§3.3). It predicts
+// each active track's box forward with a constant-velocity model and
+// matches predictions to new detections by IoU with a Hungarian
+// assignment.
+type SORT struct {
+	// MinIoU is the minimum predicted-box IoU for a valid match.
+	MinIoU float64
+	// MaxMisses is the number of consecutive processed frames a track may
+	// go unmatched before it is terminated.
+	MaxMisses int
+
+	active []*sortTrack
+	done   []*Track
+}
+
+type sortTrack struct {
+	track  Track
+	vx, vy float64 // nominal px per frame
+	misses int
+}
+
+// NewSORT returns a SORT tracker with the standard defaults.
+func NewSORT() *SORT { return &SORT{MinIoU: 0.05, MaxMisses: 2} }
+
+// predict returns the track's box extrapolated gapFrames ahead.
+func (s *sortTrack) predict(gapFrames int) geom.Rect {
+	last := s.track.Dets[len(s.track.Dets)-1].Box
+	dt := float64(gapFrames)
+	return last.Translate(s.vx*dt, s.vy*dt)
+}
+
+// Update implements Tracker.
+func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
+	if len(s.active) == 0 {
+		for _, d := range dets {
+			s.start(d)
+		}
+		return
+	}
+	const blocked = 1e6
+	cost := make([][]float64, len(s.active))
+	for i, tr := range s.active {
+		pred := tr.predict(ctx.GapFrames)
+		cost[i] = make([]float64, len(dets))
+		for j, d := range dets {
+			iou := pred.IoU(d.Box)
+			if iou < s.MinIoU {
+				cost[i][j] = blocked
+			} else {
+				cost[i][j] = 1 - iou
+			}
+		}
+	}
+	assign := AssignWithThreshold(cost, 1-s.MinIoU, blocked)
+
+	usedDet := make([]bool, len(dets))
+	var remaining []*sortTrack
+	for i, tr := range s.active {
+		j := assign[i]
+		if j < 0 {
+			tr.misses++
+			if tr.misses > s.MaxMisses {
+				s.done = append(s.done, cloneTrack(&tr.track))
+			} else {
+				remaining = append(remaining, tr)
+			}
+			continue
+		}
+		usedDet[j] = true
+		tr.absorb(dets[j], ctx.GapFrames)
+		remaining = append(remaining, tr)
+	}
+	s.active = remaining
+	for j, d := range dets {
+		if !usedDet[j] {
+			s.start(d)
+		}
+	}
+}
+
+func (s *sortTrack) absorb(d detect.Detection, gapFrames int) {
+	last := s.track.Dets[len(s.track.Dets)-1]
+	dt := math.Max(1, float64(d.FrameIdx-last.FrameIdx))
+	// Exponentially smoothed velocity.
+	nvx := (d.Box.X - last.Box.X) / dt
+	nvy := (d.Box.Y - last.Box.Y) / dt
+	if len(s.track.Dets) == 1 {
+		s.vx, s.vy = nvx, nvy
+	} else {
+		s.vx = 0.6*s.vx + 0.4*nvx
+		s.vy = 0.6*s.vy + 0.4*nvy
+	}
+	s.track.Dets = append(s.track.Dets, d)
+	s.misses = 0
+}
+
+func (s *SORT) start(d detect.Detection) {
+	s.active = append(s.active, &sortTrack{track: Track{Dets: []detect.Detection{d}}})
+}
+
+// Finish implements Tracker.
+func (s *SORT) Finish() []*Track {
+	for _, tr := range s.active {
+		s.done = append(s.done, cloneTrack(&tr.track))
+	}
+	s.active = nil
+	out := s.done
+	s.done = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstFrame() < out[j].FirstFrame() })
+	for i, t := range out {
+		t.ID = i
+		t.Category = t.MajorityCategory()
+	}
+	return out
+}
+
+func cloneTrack(t *Track) *Track {
+	c := &Track{ID: t.ID, Category: t.Category, Dets: make([]detect.Detection, len(t.Dets))}
+	copy(c.Dets, t.Dets)
+	return c
+}

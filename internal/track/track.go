@@ -1,0 +1,118 @@
+// Package track implements OTIF's multi-object trackers: the heuristic
+// SORT tracker used to bootstrap theta_best (§3.3), the recurrent
+// reduced-rate tracker that is the paper's second core contribution (§3.4),
+// and the pairwise (Miris-style GNN) matcher used by the Miris baseline and
+// the ablation study. All trackers consume detections produced by the
+// detection module at a fixed sampling gap and emit object tracks.
+package track
+
+import (
+	"otif/internal/detect"
+	"otif/internal/geom"
+)
+
+// Track is a sequence of detections of one unique object.
+type Track struct {
+	ID       int
+	Category string
+	Dets     []detect.Detection
+}
+
+// FirstFrame returns the frame index of the first detection.
+func (t *Track) FirstFrame() int {
+	if len(t.Dets) == 0 {
+		return -1
+	}
+	return t.Dets[0].FrameIdx
+}
+
+// LastFrame returns the frame index of the last detection.
+func (t *Track) LastFrame() int {
+	if len(t.Dets) == 0 {
+		return -1
+	}
+	return t.Dets[len(t.Dets)-1].FrameIdx
+}
+
+// Path returns the polyline through the detection centers.
+func (t *Track) Path() geom.Path {
+	p := make(geom.Path, len(t.Dets))
+	for i, d := range t.Dets {
+		p[i] = d.Box.Center()
+	}
+	return p
+}
+
+// BoxAt returns the interpolated bounding box at the given frame index and
+// whether the track spans that frame. Between detections the box is
+// linearly interpolated; outside the detection range ok is false.
+func (t *Track) BoxAt(frameIdx int) (geom.Rect, bool) {
+	n := len(t.Dets)
+	if n == 0 || frameIdx < t.Dets[0].FrameIdx || frameIdx > t.Dets[n-1].FrameIdx {
+		return geom.Rect{}, false
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := t.Dets[i], t.Dets[i+1]
+		if frameIdx < a.FrameIdx || frameIdx > b.FrameIdx {
+			continue
+		}
+		if b.FrameIdx == a.FrameIdx {
+			return a.Box, true
+		}
+		f := float64(frameIdx-a.FrameIdx) / float64(b.FrameIdx-a.FrameIdx)
+		return geom.Rect{
+			X: a.Box.X + (b.Box.X-a.Box.X)*f,
+			Y: a.Box.Y + (b.Box.Y-a.Box.Y)*f,
+			W: a.Box.W + (b.Box.W-a.Box.W)*f,
+			H: a.Box.H + (b.Box.H-a.Box.H)*f,
+		}, true
+	}
+	return t.Dets[n-1].Box, true
+}
+
+// MajorityCategory returns the most frequent detection category of the
+// track (tracks inherit their category from their detections).
+func (t *Track) MajorityCategory() string {
+	counts := map[string]int{}
+	for _, d := range t.Dets {
+		counts[d.Category]++
+	}
+	best, bestN := "", -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// PruneShort removes tracks with fewer than minLen detections. The paper
+// prunes length-1 tracks, which mostly correspond to spurious detections.
+func PruneShort(tracks []*Track, minLen int) []*Track {
+	out := tracks[:0]
+	for _, t := range tracks {
+		if len(t.Dets) >= minLen {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Tracker is the interface shared by all tracking methods: feed it the
+// detections of each processed frame in order, then Finish to collect the
+// completed tracks.
+type Tracker interface {
+	// Update ingests the detections of frame frameIdx. gapFrames is the
+	// number of native frames since the previously processed frame
+	// (equal to the sampling gap during normal execution).
+	Update(ctx *FrameContext, dets []detect.Detection)
+	// Finish flushes active tracks and returns all tracks, assigning
+	// sequential IDs.
+	Finish() []*Track
+}
+
+// FrameContext carries per-frame information to Tracker.Update.
+type FrameContext struct {
+	FrameIdx  int
+	GapFrames int
+}

@@ -1,0 +1,380 @@
+package tuner
+
+import (
+	"math"
+
+	"otif/internal/core"
+	"otif/internal/costmodel"
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/proxy"
+	"otif/internal/video"
+)
+
+// DefaultCoarseness is the paper's tuning coarseness C = 30%: each tuning
+// step asks every module for a candidate configuration roughly 30% faster.
+const DefaultCoarseness = 0.30
+
+// Options configures the joint tuner.
+type Options struct {
+	// C is the tuning coarseness (fractional speedup per step).
+	C float64
+	// MaxIters bounds the number of greedy iterations.
+	MaxIters int
+	// Archs are the detector architectures considered by the detection
+	// module.
+	Archs []detect.Arch
+
+	// Module mask for the ablation study (Table 4): which modules may
+	// propose candidate configurations. DefaultOptions enables all.
+	UseDetection bool
+	UseTracking  bool
+	UseProxy     bool
+	// Tracker is the tracking method configurations use (the "+Sampling
+	// Rate" ablation row pairs the tracking module with SORT; the full
+	// system uses the recurrent tracker).
+	Tracker core.TrackerKind
+}
+
+// DefaultOptions returns the paper's tuner settings.
+func DefaultOptions() Options {
+	return Options{
+		C:        DefaultCoarseness,
+		MaxIters: 12,
+		Archs:    []detect.Arch{detect.ArchYOLO, detect.ArchRCNN},
+
+		UseDetection: true,
+		UseTracking:  true,
+		UseProxy:     true,
+		Tracker:      core.TrackerRecurrent,
+	}
+}
+
+// cache holds the per-module information gathered in the tuner's caching
+// phase (§3.5): the detection module's runtime/accuracy grid over
+// (architecture, resolution), and the proxy module's per-frame cell scores
+// at each resolution plus the theta_best detections used to measure
+// recall.
+type cache struct {
+	detTime map[detKey]float64
+	detAcc  map[detKey]float64
+
+	proxyScores [][][]float64 // [model][frame][cell]
+	bestBoxes   [][]geom.Rect // [frame] theta_best detections
+	frameCount  int
+}
+
+type detKey struct {
+	arch  detect.Arch
+	scale float64
+}
+
+// Tune runs OTIF's greedy joint parameter tuner (§3.5) and returns the
+// speed-accuracy curve Theta, slowest first. The system must already be
+// fully trained (FinishTraining done). The caching phase evaluates the
+// detection grid and proxy scores; the tuning phase then iterates from
+// theta_best, asking each module for a ~C-faster candidate and keeping the
+// most accurate, until no module can offer further speedup.
+func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
+	if opts.C == 0 {
+		opts = DefaultOptions()
+	}
+	c := buildCache(sys, metric, opts)
+
+	cfg := sys.Best
+	cfg.Tracker = opts.Tracker
+	cfg.Refine = sys.DS.FixedCamera && opts.Tracker == core.TrackerRecurrent
+	if !opts.UseTracking {
+		cfg.Gap = 1
+	}
+	cur := Evaluate(sys, cfg, sys.DS.Val, metric)
+	sys.Acct.Add(costmodel.OpTune, cur.Runtime)
+	curve := []Point{cur}
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		var cands []core.Config
+		if opts.UseDetection {
+			if next, ok := c.nextDetection(cur.Cfg, opts); ok {
+				cands = append(cands, next)
+			}
+		}
+		if opts.UseProxy {
+			if next, ok := c.nextProxy(sys, cur.Cfg, opts); ok {
+				cands = append(cands, next)
+			}
+		}
+		if opts.UseTracking {
+			if next, ok := nextTracking(cur.Cfg, opts); ok {
+				cands = append(cands, next)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		best := Point{Accuracy: -1}
+		for _, cand := range cands {
+			p := Evaluate(sys, cand, sys.DS.Val, metric)
+			sys.Acct.Add(costmodel.OpTune, p.Runtime)
+			if p.Accuracy > best.Accuracy {
+				best = p
+			}
+		}
+		curve = append(curve, best)
+		cur = best
+	}
+	return curve
+}
+
+// buildCache runs the caching phase.
+func buildCache(sys *core.System, metric core.Metric, opts Options) *cache {
+	c := &cache{detTime: map[detKey]float64{}, detAcc: map[detKey]float64{}}
+	if !opts.UseDetection && !opts.UseProxy {
+		return c
+	}
+
+	// Detection grid: runtime and accuracy of each (arch, scale) with the
+	// other parameters from theta_best.
+	for _, arch := range opts.Archs {
+		for _, scale := range core.DetScaleLadder {
+			cfg := sys.Best
+			cfg.Arch = arch
+			cfg.DetScale = scale
+			cfg.Tracker = opts.Tracker
+			cfg.Refine = sys.DS.FixedCamera && opts.Tracker == core.TrackerRecurrent
+			p := Evaluate(sys, cfg, sys.DS.Val, metric)
+			sys.Acct.Add(costmodel.OpTune, p.Runtime)
+			k := detKey{arch, scale}
+			c.detTime[k] = p.Runtime
+			c.detAcc[k] = p.Accuracy
+		}
+	}
+
+	if !opts.UseProxy {
+		return c
+	}
+	// Proxy cache: per-cell scores for each trained resolution on the
+	// validation frames sampled at theta_best's gap, plus theta_best
+	// detections for recall measurement.
+	acct := costmodel.NewAccountant() // cache-phase cost kept off runtime
+	c.proxyScores = make([][][]float64, len(sys.Proxies))
+	for _, ct := range sys.DS.Val {
+		detW, detH := sys.Best.DetRes(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH)
+		reader := video.NewReader(ct.Clip, sys.Best.Gap, detW, detH, acct)
+		detector := &detect.Detector{
+			Cfg: detect.Config{
+				Arch: sys.Best.Arch, Width: detW, Height: detH,
+				ConfThresh: sys.Best.DetConf,
+			},
+			Background: sys.Background,
+			Classify:   sys.Classifier,
+			Acct:       acct,
+		}
+		for {
+			frame, idx := reader.Next()
+			if frame == nil {
+				break
+			}
+			dets := detector.Detect(frame, idx)
+			boxes := make([]geom.Rect, len(dets))
+			for i, d := range dets {
+				boxes[i] = d.Box
+			}
+			c.bestBoxes = append(c.bestBoxes, boxes)
+			for mi, m := range sys.Proxies {
+				c.proxyScores[mi] = append(c.proxyScores[mi], m.Score(frame, sys.Background, acct))
+			}
+			c.frameCount++
+		}
+	}
+	sys.Acct.Add(costmodel.OpTune, acct.Total())
+	return c
+}
+
+// nextDetection returns the detection-module candidate: the (architecture,
+// resolution) with maximum cached accuracy among those at least C faster
+// than the current detection configuration (§3.5.1).
+func (c *cache) nextDetection(cur core.Config, opts Options) (core.Config, bool) {
+	curTime, ok := c.detTime[detKey{cur.Arch, cur.DetScale}]
+	if !ok {
+		return core.Config{}, false
+	}
+	limit := (1 - opts.C) * curTime
+	bestAcc := -1.0
+	var bestKey detKey
+	// Deterministic iteration order: accuracy ties break toward the
+	// faster configuration, then lexicographically, so tuning curves are
+	// reproducible across runs (map iteration order is randomized).
+	for k, t := range c.detTime {
+		if t > limit {
+			continue
+		}
+		a := c.detAcc[k]
+		switch {
+		case a > bestAcc:
+		case a == bestAcc && t < c.detTime[bestKey]:
+		case a == bestAcc && t == c.detTime[bestKey] &&
+			(k.arch < bestKey.arch || (k.arch == bestKey.arch && k.scale < bestKey.scale)):
+		default:
+			continue
+		}
+		bestAcc = a
+		bestKey = k
+	}
+	if bestAcc < 0 {
+		return core.Config{}, false
+	}
+	next := cur
+	next.Arch = bestKey.arch
+	next.DetScale = bestKey.scale
+	return next, true
+}
+
+// nextProxy returns the proxy-module candidate: the (resolution, threshold)
+// pair with highest recall among those whose estimated per-frame runtime
+// (proxy inference plus windowed detector execution) is at least C faster
+// than the current configuration's estimated per-frame runtime (§3.5.2).
+func (c *cache) nextProxy(sys *core.System, cur core.Config, opts Options) (core.Config, bool) {
+	if len(sys.Proxies) == 0 || c.frameCount == 0 {
+		return core.Config{}, false
+	}
+	ws := proxy.NewWindowSet(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH,
+		cur.Arch.PerPixelCost(), cur.DetScale, sys.WindowSizes)
+
+	curCost := c.estConfigCost(sys, cur, ws)
+	limit := (1 - opts.C) * curCost
+
+	bestRecall := -1.0
+	bestIdx, bestThreshIdx := -1, -1
+	for mi, m := range sys.Proxies {
+		for ti, th := range core.ProxyThreshLadder {
+			est, recall := c.estProxyCost(sys, mi, th, m.ResW, m.ResH, ws)
+			if est <= limit && recall > bestRecall {
+				bestRecall = recall
+				bestIdx, bestThreshIdx = mi, ti
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return core.Config{}, false
+	}
+	next := cur
+	next.UseProxy = true
+	next.ProxyIdx = bestIdx
+	next.ProxyThresh = core.ProxyThreshLadder[bestThreshIdx]
+	return next, true
+}
+
+// estConfigCost estimates the current configuration's per-frame detection
+// cost: full-frame detection when no proxy is active, otherwise the cached
+// proxy estimate for the active proxy settings.
+func (c *cache) estConfigCost(sys *core.System, cur core.Config, ws *proxy.WindowSet) float64 {
+	if !cur.UseProxy {
+		return ws.FullFrameCost()
+	}
+	m := sys.Proxies[cur.ProxyIdx]
+	est, _ := c.estProxyCost(sys, cur.ProxyIdx, cur.ProxyThresh, m.ResW, m.ResH, ws)
+	return est
+}
+
+// estProxyCost returns the mean per-frame runtime estimate and the recall
+// (fraction of theta_best detections covered by the windows) of a proxy
+// setting over the cached validation frames.
+func (c *cache) estProxyCost(sys *core.System, modelIdx int, thresh float64, resW, resH int, ws *proxy.WindowSet) (est, recall float64) {
+	var totalCost float64
+	covered, totalDets := 0, 0
+	for fi := 0; fi < c.frameCount; fi++ {
+		grid := proxy.Threshold(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH, c.proxyScores[modelIdx][fi], thresh)
+		wins := proxy.Group(grid, ws)
+		totalCost += costmodel.ProxyCost(resW, resH)
+		for _, w := range wins {
+			totalCost += ws.Costs[windowIndex(ws, w)]
+		}
+		for _, b := range c.bestBoxes[fi] {
+			totalDets++
+			for _, w := range wins {
+				if w.Intersect(b).Area() >= 0.5*b.Area() {
+					covered++
+					break
+				}
+			}
+		}
+	}
+	est = totalCost / float64(c.frameCount)
+	if totalDets == 0 {
+		recall = 1
+	} else {
+		recall = float64(covered) / float64(totalDets)
+	}
+	return est, recall
+}
+
+func windowIndex(ws *proxy.WindowSet, w geom.Rect) int {
+	for i, s := range ws.Sizes {
+		if s[0] == int(w.W) && s[1] == int(w.H) {
+			return i
+		}
+	}
+	return 0
+}
+
+// nextTracking returns the tracking-module candidate: the next sampling gap
+// reaching roughly a C speedup (§3.5.3).
+func nextTracking(cur core.Config, opts Options) (core.Config, bool) {
+	g := core.NextGapForSpeedup(cur.Gap, opts.C)
+	if g == cur.Gap {
+		return core.Config{}, false
+	}
+	next := cur
+	next.Gap = g
+	return next, true
+}
+
+// ParetoFilter returns the subset of points forming the Pareto frontier
+// (no other point is both faster and at least as accurate), sorted by
+// runtime descending (slowest, most accurate first).
+func ParetoFilter(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			if q.Runtime < p.Runtime-1e-12 && q.Accuracy >= p.Accuracy {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	// Insertion sort by runtime descending (curves are short).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Runtime > out[j-1].Runtime; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// FastestWithin returns the fastest point whose accuracy is within tol of
+// the best accuracy among the points (the paper's Table 2 selection rule:
+// fastest configuration within 5% of best achieved accuracy).
+func FastestWithin(points []Point, tol float64) (Point, bool) {
+	if len(points) == 0 {
+		return Point{}, false
+	}
+	bestAcc := -1.0
+	for _, p := range points {
+		bestAcc = math.Max(bestAcc, p.Accuracy)
+	}
+	var out Point
+	found := false
+	for _, p := range points {
+		if p.Accuracy >= bestAcc-tol {
+			if !found || p.Runtime < out.Runtime {
+				out = p
+				found = true
+			}
+		}
+	}
+	return out, found
+}

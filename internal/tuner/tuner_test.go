@@ -1,0 +1,144 @@
+package tuner
+
+import (
+	"testing"
+
+	"otif/internal/core"
+	"otif/internal/dataset"
+)
+
+var cachedSys *core.System
+var cachedMetric core.Metric
+
+func trainedSystem(t *testing.T) (*core.System, core.Metric) {
+	t.Helper()
+	if cachedSys != nil {
+		return cachedSys, cachedMetric
+	}
+	ds, err := dataset.Build("caldot1", dataset.SetSpec{Clips: 3, ClipSeconds: 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(ds)
+	metric := core.MetricFor(ds)
+	best, _ := SelectBest(sys, metric)
+	sys.FinishTraining(best, 42)
+	cachedSys, cachedMetric = sys, metric
+	return sys, metric
+}
+
+func TestSelectBestUsesSORTAtFullRateOrReduced(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	best := sys.Best
+	if best.Tracker != core.TrackerSORT {
+		t.Errorf("theta_best tracker = %s, want sort (learned models not yet trained)", best.Tracker)
+	}
+	if best.UseProxy {
+		t.Error("theta_best must not use a proxy model")
+	}
+	if best.Gap < 1 {
+		t.Error("invalid gap")
+	}
+}
+
+func TestSelectBestAccuracyIsHigh(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	p := Evaluate(sys, sys.Best, sys.DS.Val, metric)
+	if p.Accuracy < 0.6 {
+		t.Errorf("theta_best accuracy = %v, want reasonably high", p.Accuracy)
+	}
+}
+
+func TestTuneProducesDescendingRuntimes(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	curve := Tune(sys, metric, DefaultOptions())
+	if len(curve) < 4 {
+		t.Fatalf("curve has %d points, want several", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Runtime >= curve[i-1].Runtime {
+			t.Errorf("curve not speeding up at step %d: %v -> %v",
+				i, curve[i-1].Runtime, curve[i].Runtime)
+		}
+	}
+	// The fast end is much faster than the slow end.
+	if curve[len(curve)-1].Runtime > curve[0].Runtime/5 {
+		t.Errorf("tuner found only %vx speedup",
+			curve[0].Runtime/curve[len(curve)-1].Runtime)
+	}
+}
+
+func TestTuneEventuallyEnablesProxyAndGap(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	curve := Tune(sys, metric, DefaultOptions())
+	sawProxy, sawGap := false, false
+	for _, p := range curve {
+		if p.Cfg.UseProxy {
+			sawProxy = true
+		}
+		if p.Cfg.Gap > 1 {
+			sawGap = true
+		}
+	}
+	if !sawProxy {
+		t.Error("tuner never enabled the segmentation proxy model")
+	}
+	if !sawGap {
+		t.Error("tuner never increased the sampling gap")
+	}
+}
+
+func TestTuneModuleMask(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	opts := DefaultOptions()
+	opts.UseProxy = false
+	opts.UseTracking = false
+	opts.Tracker = core.TrackerSORT
+	opts.MaxIters = 6
+	curve := Tune(sys, metric, opts)
+	for _, p := range curve {
+		if p.Cfg.UseProxy {
+			t.Error("proxy enabled despite the module mask")
+		}
+		if p.Cfg.Gap != 1 {
+			t.Error("gap changed despite the module mask")
+		}
+		if p.Cfg.Tracker != core.TrackerSORT {
+			t.Errorf("tracker = %s, want sort", p.Cfg.Tracker)
+		}
+	}
+}
+
+func TestParetoFilter(t *testing.T) {
+	pts := []Point{
+		{Runtime: 10, Accuracy: 0.9},
+		{Runtime: 5, Accuracy: 0.95}, // dominates the first
+		{Runtime: 2, Accuracy: 0.7},
+	}
+	out := ParetoFilter(pts)
+	if len(out) != 2 {
+		t.Fatalf("pareto kept %d, want 2", len(out))
+	}
+	if out[0].Runtime != 5 || out[1].Runtime != 2 {
+		t.Errorf("pareto order wrong: %v", out)
+	}
+}
+
+func TestFastestWithin(t *testing.T) {
+	pts := []Point{
+		{Runtime: 10, Accuracy: 0.90},
+		{Runtime: 5, Accuracy: 0.88},
+		{Runtime: 1, Accuracy: 0.70},
+	}
+	p, ok := FastestWithin(pts, 0.05)
+	if !ok || p.Runtime != 5 {
+		t.Errorf("FastestWithin = %v, %v", p, ok)
+	}
+	p, ok = FastestWithin(pts, 0.30)
+	if !ok || p.Runtime != 1 {
+		t.Errorf("loose tolerance = %v", p)
+	}
+	if _, ok := FastestWithin(nil, 0.05); ok {
+		t.Error("empty points should not find anything")
+	}
+}

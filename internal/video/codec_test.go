@@ -1,0 +1,145 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randClip(rng *rand.Rand, w, h, n int, motion bool) []*Frame {
+	frames := make([]*Frame, n)
+	base := make([]uint8, w*h)
+	for i := range base {
+		base[i] = uint8(rng.Intn(256))
+	}
+	for fi := range frames {
+		f := NewFrame(w, h, w*2, h*2)
+		copy(f.Pix, base)
+		if motion && fi > 0 && w > 4 {
+			// Perturb a moving square.
+			x0 := (fi * 3) % (w - 4)
+			for y := 2; y < 6 && y < h; y++ {
+				for x := x0; x < x0+4; x++ {
+					f.Pix[y*w+x] = uint8(rng.Intn(256))
+				}
+			}
+		}
+		frames[fi] = f
+	}
+	return frames
+}
+
+func framesEqual(a, b []*Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].W != b[i].W || a[i].H != b[i].H ||
+			a[i].NomW != b[i].NomW || a[i].NomH != b[i].NomH {
+			return false
+		}
+		for j := range a[i].Pix {
+			if a[i].Pix[j] != b[i].Pix[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frames := randClip(rng, 48, 32, 10, true)
+	data, err := EncodeClip(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClip(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(frames, got) {
+		t.Error("roundtrip mismatch")
+	}
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := int(wRaw%60) + 4
+		h := int(hRaw%40) + 4
+		n := int(nRaw%6) + 1
+		frames := randClip(rng, w, h, n, seed%2 == 0)
+		data, err := EncodeClip(frames)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeClip(data)
+		if err != nil {
+			return false
+		}
+		return framesEqual(frames, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecCompressesStaticVideo(t *testing.T) {
+	// A static clip compresses far below raw size: only the first frame
+	// carries payload.
+	w, h, n := 64, 48, 20
+	frames := make([]*Frame, n)
+	f0 := NewFrame(w, h, w, h)
+	for i := range f0.Pix {
+		f0.Pix[i] = uint8(i % 200)
+	}
+	for i := range frames {
+		frames[i] = f0.Clone()
+	}
+	data, err := EncodeClip(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := w * h * n
+	if len(data) > raw/3 {
+		t.Errorf("static clip compressed to %d bytes, raw %d — expected much smaller", len(data), raw)
+	}
+}
+
+func TestCodecRejectsCorruptHeader(t *testing.T) {
+	if _, err := DecodeClip([]byte("nope")); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := DecodeClip(make([]byte, 64)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestCodecRejectsTruncatedPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	frames := randClip(rng, 32, 32, 3, true)
+	data, err := EncodeClip(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) / 2, len(data) - 3, 25} {
+		if _, err := DecodeClip(data[:cut]); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestCodecEmptyClip(t *testing.T) {
+	if _, err := EncodeClip(nil); err == nil {
+		t.Error("empty clip should fail to encode")
+	}
+}
+
+func TestCodecMismatchedSizes(t *testing.T) {
+	a := NewFrame(8, 8, 8, 8)
+	b := NewFrame(4, 4, 4, 4)
+	if _, err := EncodeClip([]*Frame{a, b}); err == nil {
+		t.Error("mismatched frame sizes should fail")
+	}
+}

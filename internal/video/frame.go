@@ -1,0 +1,198 @@
+// Package video provides the video substrate for OTIF: the greyscale Frame
+// type with the resampling and cropping operations the detectors and proxy
+// models need, a toy block-based codec that stands in for H264 (so that
+// clip storage and decode cost are grounded in real code), and clip
+// containers for the sampled training/validation/test sets.
+//
+// Frames carry two coordinate systems. All geometry in OTIF (detections,
+// tracks, queries) lives in *nominal* coordinates — the dataset's advertised
+// resolution, e.g. 1280x720. To keep the simulator tractable the pixel
+// buffers are stored at a smaller *simulation* resolution; Frame.NomW/NomH
+// record the nominal size and the Scale methods convert between the two.
+// The cost model always charges for nominal pixels, so simulated runtimes
+// are unaffected by the reduced storage resolution.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"otif/internal/geom"
+)
+
+// Frame is a greyscale image with pixel values in [0, 255].
+type Frame struct {
+	W, H       int     // stored (simulation) resolution
+	NomW, NomH int     // nominal resolution used for geometry and cost
+	Pix        []uint8 // row-major, len W*H
+}
+
+// NewFrame allocates a zeroed frame at stored resolution w x h with the
+// given nominal resolution.
+func NewFrame(w, h, nomW, nomH int) *Frame {
+	return &Frame{W: w, H: h, NomW: nomW, NomH: nomH, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at stored coordinates (x, y), clamping out-of-range
+// coordinates to the frame border.
+func (f *Frame) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Set writes the pixel at stored coordinates (x, y); out-of-range writes
+// are ignored.
+func (f *Frame) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = v
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H, f.NomW, f.NomH)
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Bounds returns the frame bounds in nominal coordinates.
+func (f *Frame) Bounds() geom.Rect {
+	return geom.Rect{W: float64(f.NomW), H: float64(f.NomH)}
+}
+
+// ScaleToStored converts a nominal-coordinate rectangle to stored pixels.
+func (f *Frame) ScaleToStored(r geom.Rect) geom.Rect {
+	sx := float64(f.W) / float64(f.NomW)
+	sy := float64(f.H) / float64(f.NomH)
+	return geom.Rect{X: r.X * sx, Y: r.Y * sy, W: r.W * sx, H: r.H * sy}
+}
+
+// ScaleToNominal converts a stored-pixel rectangle to nominal coordinates.
+func (f *Frame) ScaleToNominal(r geom.Rect) geom.Rect {
+	sx := float64(f.NomW) / float64(f.W)
+	sy := float64(f.NomH) / float64(f.H)
+	return geom.Rect{X: r.X * sx, Y: r.Y * sy, W: r.W * sx, H: r.H * sy}
+}
+
+// Downsample returns the frame box-filtered to stored resolution w x h.
+// The nominal resolution is preserved, so geometry remains comparable
+// across resolutions. Upsampling requests are served by nearest-neighbor.
+func (f *Frame) Downsample(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid downsample target %dx%d", w, h))
+	}
+	if w == f.W && h == f.H {
+		return f.Clone()
+	}
+	out := NewFrame(w, h, f.NomW, f.NomH)
+	for y := 0; y < h; y++ {
+		y0 := y * f.H / h
+		y1 := (y + 1) * f.H / h
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for x := 0; x < w; x++ {
+			x0 := x * f.W / w
+			x1 := (x + 1) * f.W / w
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var sum, n int
+			for yy := y0; yy < y1 && yy < f.H; yy++ {
+				row := yy * f.W
+				for xx := x0; xx < x1 && xx < f.W; xx++ {
+					sum += int(f.Pix[row+xx])
+					n++
+				}
+			}
+			if n > 0 {
+				out.Pix[y*w+x] = uint8(sum / n)
+			}
+		}
+	}
+	return out
+}
+
+// Crop returns the sub-frame covering the given nominal-coordinate
+// rectangle, clipped to the frame. The crop keeps the same pixel density
+// and its nominal size matches the (clipped) requested region.
+func (f *Frame) Crop(r geom.Rect) *Frame {
+	r = r.Clip(f.Bounds())
+	s := f.ScaleToStored(r)
+	x0, y0 := int(s.X), int(s.Y)
+	x1, y1 := int(s.MaxX()+0.5), int(s.MaxY()+0.5)
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+	if x1 > f.W {
+		x1 = f.W
+	}
+	if y1 > f.H {
+		y1 = f.H
+	}
+	w, h := x1-x0, y1-y0
+	out := NewFrame(w, h, int(r.W+0.5), int(r.H+0.5))
+	for y := 0; y < h; y++ {
+		copy(out.Pix[y*w:(y+1)*w], f.Pix[(y0+y)*f.W+x0:(y0+y)*f.W+x1])
+	}
+	return out
+}
+
+// MeanStd returns the mean and standard deviation of pixel values inside
+// the nominal-coordinate rectangle r (whole frame if r is empty).
+func (f *Frame) MeanStd(r geom.Rect) (mean, std float64) {
+	var x0, y0, x1, y1 int
+	if r.Empty() {
+		x0, y0, x1, y1 = 0, 0, f.W, f.H
+	} else {
+		s := f.ScaleToStored(r.Clip(f.Bounds()))
+		x0, y0 = int(s.X), int(s.Y)
+		x1, y1 = int(s.MaxX()+0.5), int(s.MaxY()+0.5)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		if x1 > f.W {
+			x1 = f.W
+		}
+		if y1 > f.H {
+			y1 = f.H
+		}
+	}
+	var sum, sum2 float64
+	n := 0
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			v := float64(f.Pix[y*f.W+x])
+			sum += v
+			sum2 += v * v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean = sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}

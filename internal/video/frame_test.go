@@ -1,0 +1,149 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"otif/internal/geom"
+)
+
+func testFrame(w, h int) *Frame {
+	f := NewFrame(w, h, w*4, h*4)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i % 251)
+	}
+	return f
+}
+
+func TestAtSetClamping(t *testing.T) {
+	f := NewFrame(4, 4, 16, 16)
+	f.Set(1, 1, 42)
+	if f.At(1, 1) != 42 {
+		t.Error("Set/At roundtrip failed")
+	}
+	// Out-of-range reads clamp, writes are dropped.
+	if f.At(-5, -5) != f.At(0, 0) {
+		t.Error("negative At should clamp to border")
+	}
+	if f.At(100, 100) != f.At(3, 3) {
+		t.Error("overflow At should clamp to border")
+	}
+	f.Set(-1, 0, 99)
+	f.Set(4, 0, 99)
+	for _, p := range f.Pix {
+		if p == 99 {
+			t.Error("out-of-range Set must be ignored")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := testFrame(8, 8)
+	g := f.Clone()
+	g.Pix[0] = 200
+	if f.Pix[0] == 200 {
+		t.Error("Clone must copy pixels")
+	}
+}
+
+func TestDownsampleMeanPreserving(t *testing.T) {
+	f := NewFrame(8, 8, 32, 32)
+	for i := range f.Pix {
+		f.Pix[i] = 100
+	}
+	d := f.Downsample(4, 4)
+	if d.W != 4 || d.H != 4 {
+		t.Fatalf("downsampled size %dx%d", d.W, d.H)
+	}
+	if d.NomW != 32 || d.NomH != 32 {
+		t.Error("nominal size must be preserved")
+	}
+	for _, p := range d.Pix {
+		if p != 100 {
+			t.Errorf("constant image downsample changed value: %d", p)
+		}
+	}
+	// Box filter averages: a half-black half-white image downsampled to
+	// one pixel lands near the mean.
+	f2 := NewFrame(2, 1, 2, 1)
+	f2.Pix = []uint8{0, 200}
+	one := f2.Downsample(1, 1)
+	if one.Pix[0] != 100 {
+		t.Errorf("average = %d, want 100", one.Pix[0])
+	}
+}
+
+func TestDownsampleSameSizeIsCopy(t *testing.T) {
+	f := testFrame(6, 4)
+	d := f.Downsample(6, 4)
+	d.Pix[0] = 255
+	if f.Pix[0] == 255 {
+		t.Error("same-size downsample should copy, not alias")
+	}
+}
+
+func TestDownsamplePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	testFrame(4, 4).Downsample(0, 4)
+}
+
+func TestScaleRoundtrip(t *testing.T) {
+	f := NewFrame(100, 50, 400, 200)
+	r := geom.Rect{X: 40, Y: 20, W: 80, H: 40}
+	s := f.ScaleToStored(r)
+	back := f.ScaleToNominal(s)
+	if math.Abs(back.X-r.X) > 1e-9 || math.Abs(back.W-r.W) > 1e-9 {
+		t.Errorf("scale roundtrip %v -> %v", r, back)
+	}
+}
+
+func TestCrop(t *testing.T) {
+	f := NewFrame(10, 10, 100, 100)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			f.Set(x, y, uint8(y*10+x))
+		}
+	}
+	c := f.Crop(geom.Rect{X: 20, Y: 30, W: 30, H: 20})
+	if c.W != 3 || c.H != 2 {
+		t.Fatalf("crop size %dx%d, want 3x2", c.W, c.H)
+	}
+	if c.At(0, 0) != f.At(2, 3) {
+		t.Errorf("crop content mismatch: %d vs %d", c.At(0, 0), f.At(2, 3))
+	}
+	// Crop clipped to bounds never panics and stays non-empty.
+	c2 := f.Crop(geom.Rect{X: 90, Y: 90, W: 50, H: 50})
+	if c2.W < 1 || c2.H < 1 {
+		t.Error("clipped crop must be non-empty")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	f := NewFrame(4, 4, 4, 4)
+	for i := range f.Pix {
+		f.Pix[i] = 10
+	}
+	mean, std := f.MeanStd(geom.Rect{})
+	if mean != 10 || std != 0 {
+		t.Errorf("MeanStd = %v, %v", mean, std)
+	}
+	f.Pix[0] = 30
+	mean2, std2 := f.MeanStd(geom.Rect{})
+	if mean2 <= 10 || std2 <= 0 {
+		t.Errorf("MeanStd after change = %v, %v", mean2, std2)
+	}
+	// Sub-region stats.
+	f2 := NewFrame(4, 4, 8, 8)
+	for i := range f2.Pix {
+		f2.Pix[i] = 0
+	}
+	f2.Set(0, 0, 100)
+	m, _ := f2.MeanStd(geom.Rect{X: 0, Y: 0, W: 2, H: 2})
+	if m != 100 {
+		t.Errorf("region mean = %v, want 100 (only pixel (0,0) is in region)", m)
+	}
+}

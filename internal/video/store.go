@@ -1,0 +1,68 @@
+package video
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EncodedSource is a FrameSource backed by a codec bitstream: frames are
+// decoded on first access and cached. It is how a deployment would store
+// sampled clips on disk (the paper stores clips as H264 mp4 on a local
+// SSD); the simulator datasets use on-demand rendering instead because it
+// is cheaper, but both satisfy the same FrameSource contract.
+type EncodedSource struct {
+	data []byte
+	fps  int
+
+	mu     sync.Mutex
+	frames []*Frame // decoded lazily, all at once (GOP semantics)
+}
+
+// NewEncodedSource encodes the frames once and returns a source that
+// serves them by decoding the bitstream.
+func NewEncodedSource(frames []*Frame, fps int) (*EncodedSource, error) {
+	data, err := EncodeClip(frames)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodedSource{data: data, fps: fps, frames: make([]*Frame, len(frames))}, nil
+}
+
+// FromEncoded wraps an existing bitstream (e.g. read from disk).
+func FromEncoded(data []byte, fps int) (*EncodedSource, error) {
+	// Validate eagerly so corrupt clips fail at open time, not mid-scan.
+	frames, err := DecodeClip(data)
+	if err != nil {
+		return nil, fmt.Errorf("video: invalid clip: %w", err)
+	}
+	return &EncodedSource{data: data, fps: fps, frames: frames}, nil
+}
+
+// Bytes returns the encoded bitstream (for persisting the clip).
+func (s *EncodedSource) Bytes() []byte { return s.data }
+
+// Frame implements FrameSource. The codec is inter-frame, so the first
+// access decodes the whole clip; subsequent accesses are cache hits.
+func (s *EncodedSource) Frame(idx int) *Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.frames) {
+		panic(fmt.Sprintf("video: frame %d out of range [0,%d)", idx, len(s.frames)))
+	}
+	if s.frames[idx] == nil {
+		decoded, err := DecodeClip(s.data)
+		if err != nil {
+			// The stream was validated or produced by EncodeClip;
+			// corruption here is a programming error.
+			panic(fmt.Sprintf("video: decode failed: %v", err))
+		}
+		copy(s.frames, decoded)
+	}
+	return s.frames[idx]
+}
+
+// Len implements FrameSource.
+func (s *EncodedSource) Len() int { return len(s.frames) }
+
+// FPS implements FrameSource.
+func (s *EncodedSource) FPS() int { return s.fps }

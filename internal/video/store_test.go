@@ -1,0 +1,77 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodedSourceRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frames := randClip(rng, 48, 32, 6, true)
+	src, err := NewEncodedSource(frames, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 6 || src.FPS() != 15 {
+		t.Fatalf("Len/FPS = %d/%d", src.Len(), src.FPS())
+	}
+	// Access out of order; content must match the originals.
+	for _, idx := range []int{3, 0, 5, 1} {
+		got := src.Frame(idx)
+		want := frames[idx]
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("frame %d pixel %d mismatch", idx, i)
+			}
+		}
+	}
+}
+
+func TestEncodedSourceAsClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frames := randClip(rng, 32, 32, 4, false)
+	src, err := NewEncodedSource(frames, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := &Clip{Source: src}
+	if clip.Len() != 4 {
+		t.Error("clip length wrong")
+	}
+	if clip.Frame(2) == nil {
+		t.Error("nil frame")
+	}
+}
+
+func TestFromEncodedValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frames := randClip(rng, 32, 32, 3, true)
+	src, err := NewEncodedSource(frames, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := FromEncoded(src.Bytes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Error("reopened clip has wrong length")
+	}
+	if _, err := FromEncoded([]byte("garbage"), 10); err == nil {
+		t.Error("corrupt stream must be rejected at open")
+	}
+}
+
+func TestEncodedSourcePanicsOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src, err := NewEncodedSource(randClip(rng, 16, 16, 2, false), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	src.Frame(9)
+}

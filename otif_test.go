@@ -1,0 +1,123 @@
+package otif_test
+
+import (
+	"testing"
+
+	"otif"
+)
+
+// trainedPipe builds one small trained pipeline shared by the package's
+// integration tests.
+var trainedPipe *otif.Pipeline
+var trainedCurve []otif.Point
+
+func pipeline(t *testing.T) (*otif.Pipeline, []otif.Point) {
+	t.Helper()
+	if trainedPipe != nil {
+		return trainedPipe, trainedCurve
+	}
+	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 3, ClipSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Train()
+	trainedPipe = pipe
+	trainedCurve = pipe.Tune()
+	return trainedPipe, trainedCurve
+}
+
+func TestOpenUnknownDataset(t *testing.T) {
+	if _, err := otif.Open("nope", otif.Options{}); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	if got := len(otif.Datasets()); got != 7 {
+		t.Errorf("datasets = %d, want 7", got)
+	}
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	pipe, curve := pipeline(t)
+	if len(curve) < 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Workflow of Figure 1: pick a point, extract over the dataset.
+	pick := otif.PickFastestWithin(curve, 0.05)
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Runtime <= 0 {
+		t.Error("zero extraction runtime")
+	}
+	acc, err := pipe.Accuracy(ts, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.2 {
+		t.Errorf("test accuracy = %v, suspiciously low", acc)
+	}
+
+	// Queries over stored tracks.
+	counts := ts.CountTracks("car")
+	if len(counts) != 3 {
+		t.Fatalf("counts per clip = %d", len(counts))
+	}
+	movements := pipe.Movements()
+	if len(movements) == 0 {
+		t.Fatal("caldot1 should expose movements")
+	}
+	bd := ts.PathBreakdown("car", movements, 160)
+	if len(bd) != 3 {
+		t.Error("per-clip breakdown size wrong")
+	}
+	_ = ts.HardBraking(250)
+	_ = ts.AvgVisible("car")
+	_ = ts.BusyFrames("car", 2, "car", 2)
+	lq := ts.LimitQuery("car", otif.CountPredicate{N: 1}, 5, 1)
+	if len(lq) != 3 {
+		t.Error("limit query per-clip size wrong")
+	}
+}
+
+func TestTuneBeforeTrainPanics(t *testing.T) {
+	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Tune before Train should panic")
+		}
+	}()
+	pipe.Tune()
+}
+
+func TestCurveAccessor(t *testing.T) {
+	pipe, curve := pipeline(t)
+	got := pipe.Curve()
+	if len(got) != len(curve) {
+		t.Error("Curve() should return the last tuning result")
+	}
+}
+
+func TestExtractBadSet(t *testing.T) {
+	pipe, curve := pipeline(t)
+	if _, err := pipe.Extract(curve[0].Cfg, otif.SetName("bogus")); err == nil {
+		t.Error("bad set name must error")
+	}
+}
+
+func TestSpeedupAtMatchedAccuracy(t *testing.T) {
+	// The central claim in miniature: within the curve, the fastest
+	// configuration within 5% of the best accuracy is several times
+	// faster than the slowest.
+	_, curve := pipeline(t)
+	pick := otif.PickFastestWithin(curve, 0.05)
+	slowest := curve[0]
+	if pick.Runtime > slowest.Runtime/2 {
+		t.Errorf("tuned speedup only %.1fx", slowest.Runtime/pick.Runtime)
+	}
+}

@@ -1,0 +1,70 @@
+package otif
+
+import (
+	"io"
+
+	"otif/internal/persist"
+	"otif/internal/query"
+)
+
+// SaveModels writes the pipeline's trained model bundle (theta_best,
+// background model, proxy models, window sizes, tracking models,
+// refinement clusters) in OTIF's versioned, checksummed binary format.
+// Train must have been called.
+func (p *Pipeline) SaveModels(w io.Writer) error {
+	if p.sys.Recurrent == nil {
+		panic("otif: SaveModels called before Train")
+	}
+	return persist.SaveModels(w, p.sys)
+}
+
+// LoadModels restores a previously saved model bundle into this pipeline,
+// replacing Train. The pipeline must have been opened on the same dataset
+// (name and set sizes) the bundle was trained on; a loaded pipeline
+// produces bit-identical extraction results to the one that saved it.
+func (p *Pipeline) LoadModels(r io.Reader) error {
+	return persist.LoadModels(r, p.sys)
+}
+
+// WriteTo serializes the track set in OTIF's binary track format; n is the
+// number of bytes written. Stored tracks reload with ReadTrackSet and
+// answer queries without any re-processing.
+func (ts *TrackSet) WriteTo(w io.Writer) (n int64, err error) {
+	cw := &countWriter{w: w}
+	err = persist.WriteTracks(cw, ts.PerClip)
+	return cw.n, err
+}
+
+// ReadTrackSet loads a stored track set. The context parameters (frame
+// rate and geometry) must describe the clips the tracks were extracted
+// from; the pipeline's Ctx supplies them for its own datasets.
+func ReadTrackSet(r io.Reader, fps, nomW, nomH, framesPerClip int) (*TrackSet, error) {
+	perClip, err := persist.ReadTracks(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TrackSet{
+		PerClip: perClip,
+		ctx: query.Context{
+			FPS: fps, NomW: nomW, NomH: nomH, Frames: framesPerClip,
+		},
+	}, nil
+}
+
+// ReadTrackSetFor loads a stored track set with the pipeline's clip
+// geometry.
+func (p *Pipeline) ReadTrackSetFor(r io.Reader) (*TrackSet, error) {
+	ctx := p.sys.Ctx()
+	return ReadTrackSet(r, ctx.FPS, ctx.NomW, ctx.NomH, ctx.Frames)
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,173 @@
+package otif_test
+
+import (
+	"bytes"
+	"testing"
+
+	"otif"
+)
+
+func TestPipelinePersistenceRoundtrip(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick := otif.PickFastestWithin(curve, 0.05)
+
+	var bundle bytes.Buffer
+	if err := pipe.SaveModels(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Len() == 0 {
+		t.Fatal("empty bundle")
+	}
+
+	pipe2, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 3, ClipSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe2.LoadModels(bytes.NewReader(bundle.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipe2.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime {
+		t.Errorf("loaded pipeline runtime %v != original %v", b.Runtime, a.Runtime)
+	}
+	ca, cb := a.CountTracks("car"), b.CountTracks("car")
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Errorf("clip %d: loaded pipeline counts %d != %d", i, cb[i], ca[i])
+		}
+	}
+}
+
+func TestLoadModelsWrongDataset(t *testing.T) {
+	pipe, _ := pipeline(t)
+	var bundle bytes.Buffer
+	if err := pipe.SaveModels(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	other, err := otif.Open("tokyo", otif.Options{ClipsPerSet: 3, ClipSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadModels(bytes.NewReader(bundle.Bytes())); err == nil {
+		t.Error("loading a caldot1 bundle into tokyo must fail")
+	}
+}
+
+func TestTrackSetPersistence(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick := otif.PickFastestWithin(curve, 0.05)
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ts.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := pipe.ReadTrackSetFor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ts.CountTracks(""), got.CountTracks("")
+	if len(a) != len(b) {
+		t.Fatal("clip counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("clip %d: %d vs %d tracks", i, a[i], b[i])
+		}
+	}
+	// Frame-level queries work identically on the reloaded set.
+	la := ts.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	lb := got.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	for i := range la {
+		if len(la[i]) != len(lb[i]) {
+			t.Errorf("clip %d: limit query %d vs %d matches", i, len(la[i]), len(lb[i]))
+		}
+	}
+}
+
+func TestSaveModelsBeforeTrainPanics(t *testing.T) {
+	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SaveModels before Train should panic")
+		}
+	}()
+	var buf bytes.Buffer
+	_ = pipe.SaveModels(&buf)
+}
+
+func TestAnalyticsQueries(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick := otif.PickFastestWithin(curve, 0.05)
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Speeding at an impossible threshold finds nothing; at zero it finds
+	// every track of every clip.
+	none := ts.Speeding(1e12)
+	for _, clip := range none {
+		if len(clip) != 0 {
+			t.Error("impossible speed threshold matched tracks")
+		}
+	}
+	all := ts.Speeding(0)
+	counts := ts.CountTracks("")
+	for i, clip := range all {
+		if len(clip) != counts[i] {
+			t.Errorf("clip %d: speeding(0) = %d, tracks = %d", i, len(clip), counts[i])
+		}
+	}
+
+	// Dwell time inside the whole frame equals each track's duration.
+	nomW := float64(pipe.System().DS.Cfg.NomW)
+	nomH := float64(pipe.System().DS.Cfg.NomH)
+	whole := otif.Polygon{
+		{X: -1, Y: -1}, {X: nomW + 1, Y: -1},
+		{X: nomW + 1, Y: nomH + 1}, {X: -1, Y: nomH + 1},
+	}
+	dw := ts.DwellTime("", whole)
+	for i, clip := range dw {
+		if len(clip) != counts[i] {
+			t.Errorf("clip %d: dwell entries %d, tracks %d", i, len(clip), counts[i])
+		}
+	}
+
+	// Co-occurrences at a huge radius >= co-occurrences at a tiny radius.
+	big := ts.CoOccurrences("", 1e9)
+	small := ts.CoOccurrences("", 1)
+	for i := range big {
+		if big[i] < small[i] {
+			t.Errorf("clip %d: co-occurrence monotonicity violated", i)
+		}
+	}
+
+	// TrackSpeed on a real track is positive.
+	for _, clip := range ts.PerClip {
+		for _, tr := range clip {
+			if st := ts.TrackSpeed(tr); st.Mean <= 0 {
+				t.Error("zero mean speed for a moving track")
+			}
+			break
+		}
+		break
+	}
+}

@@ -1,0 +1,140 @@
+package otif
+
+import (
+	"otif/internal/geom"
+	"otif/internal/query"
+)
+
+// TrackSet is the output of one extraction pass: per-clip object tracks
+// plus the simulated execution cost. All subsequent queries are answered by
+// scanning these tracks — no video decoding or model inference.
+type TrackSet struct {
+	// PerClip holds the extracted tracks of each clip in set order.
+	PerClip [][]*query.Track
+	// Runtime is the simulated extraction cost in seconds.
+	Runtime float64
+
+	ctx query.Context
+}
+
+// Track is one stored object track.
+type Track = query.Track
+
+// Movement is a labeled spatial pattern for path breakdown queries.
+type Movement = query.Movement
+
+// FrameMatch is one frame returned by a limit query.
+type FrameMatch = query.FrameMatch
+
+// CountTracks returns, per clip, the number of tracks of the category
+// (empty for all categories). This answers the paper's track count query.
+func (ts *TrackSet) CountTracks(category string) []int {
+	out := make([]int, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.CountTracks(tracks, category)
+	}
+	return out
+}
+
+// PathBreakdown counts, per clip, the category tracks following each
+// movement (the turning-movement count query).
+func (ts *TrackSet) PathBreakdown(category string, movements []Movement, maxEndpointDist float64) []map[string]int {
+	out := make([]map[string]int, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.PathBreakdown(tracks, category, movements, maxEndpointDist)
+	}
+	return out
+}
+
+// HardBraking returns, per clip, the tracks whose maximum deceleration
+// exceeds the threshold in nominal pixels per second squared (example
+// exploratory query (1) of §3).
+func (ts *TrackSet) HardBraking(decelThreshold float64) [][]*Track {
+	out := make([][]*Track, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.HardBraking(tracks, ts.ctx, decelThreshold)
+	}
+	return out
+}
+
+// AvgVisible returns, per clip, the average number of category objects
+// visible per frame (example exploratory query (3)).
+func (ts *TrackSet) AvgVisible(category string) []float64 {
+	out := make([]float64, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.AvgVisible(tracks, category, ts.ctx)
+	}
+	return out
+}
+
+// BusyFrames returns, per clip, the frames with at least nA objects of
+// catA and nB objects of catB visible (example exploratory query (2)).
+func (ts *TrackSet) BusyFrames(catA string, nA int, catB string, nB int) [][]int {
+	out := make([][]int, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.BusyFrames(tracks, catA, nA, catB, nB, ts.ctx)
+	}
+	return out
+}
+
+// LimitQuery runs a frame-level limit query per clip: up to limit frames
+// satisfying pred, at least minSepSec apart.
+func (ts *TrackSet) LimitQuery(category string, pred query.FramePredicate, limit int, minSepSec float64) [][]FrameMatch {
+	minSep := int(minSepSec * float64(ts.ctx.FPS))
+	out := make([][]FrameMatch, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.LimitQuery(tracks, category, pred, ts.ctx, limit, minSep)
+	}
+	return out
+}
+
+// Speeding returns, per clip, the tracks whose median speed exceeds the
+// threshold in nominal pixels per second.
+func (ts *TrackSet) Speeding(threshold float64) [][]*Track {
+	out := make([][]*Track, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.Speeding(tracks, ts.ctx, threshold)
+	}
+	return out
+}
+
+// DwellTime returns, per clip, seconds each category track spends inside
+// the region (keyed by track ID).
+func (ts *TrackSet) DwellTime(category string, region geom.Polygon) []map[int]float64 {
+	out := make([]map[int]float64, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.DwellTime(tracks, category, region, ts.ctx)
+	}
+	return out
+}
+
+// CoOccurrences returns, per clip, the total count of frame-wise pairs of
+// category objects within dist of each other.
+func (ts *TrackSet) CoOccurrences(category string, dist float64) []int {
+	out := make([]int, len(ts.PerClip))
+	for i, tracks := range ts.PerClip {
+		out[i] = query.CoOccurrences(tracks, category, dist, ts.ctx)
+	}
+	return out
+}
+
+// SpeedStats summarizes one track's motion.
+type SpeedStats = query.SpeedStats
+
+// TrackSpeed computes the speed statistics of one stored track.
+func (ts *TrackSet) TrackSpeed(t *Track) SpeedStats {
+	return query.TrackSpeed(t, ts.ctx.FPS)
+}
+
+// Polygon re-exports the region type used by spatial queries.
+type Polygon = geom.Polygon
+
+// Predicates re-exported for limit queries.
+type (
+	// CountPredicate matches frames with at least N objects.
+	CountPredicate = query.CountPredicate
+	// RegionPredicate matches frames with at least N objects in a polygon.
+	RegionPredicate = query.RegionPredicate
+	// HotSpotPredicate matches frames with a dense circular cluster.
+	HotSpotPredicate = query.HotSpotPredicate
+)
