@@ -23,6 +23,7 @@ import (
 
 	"otif/internal/bench"
 	"otif/internal/dataset"
+	"otif/internal/parallel"
 )
 
 func main() {
@@ -34,8 +35,10 @@ func main() {
 		clips    = flag.Int("clips", dataset.DefaultSpec.Clips, "clips per set")
 		seconds  = flag.Float64("seconds", dataset.DefaultSpec.ClipSeconds, "seconds per clip")
 		seed     = flag.Int64("seed", 7, "sampling seed")
+		nworkers = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*nworkers)
 
 	spec := dataset.SetSpec{Clips: *clips, ClipSeconds: *seconds}
 	suite := bench.NewSuite(spec, *seed)

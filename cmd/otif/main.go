@@ -29,8 +29,10 @@ func main() {
 		saveTo  = flag.String("save", "", "save the trained model bundle to this file")
 		loadFm  = flag.String("load", "", "load a trained model bundle instead of training")
 		tracksF = flag.String("tracks", "", "write the extracted track set to this file")
+		nwork   = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
+	otif.SetParallelism(*nwork)
 
 	if *list {
 		for _, d := range otif.Datasets() {

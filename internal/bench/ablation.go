@@ -5,6 +5,7 @@ import (
 
 	"otif/internal/core"
 	"otif/internal/costmodel"
+	"otif/internal/parallel"
 	"otif/internal/tuner"
 )
 
@@ -59,10 +60,19 @@ func (s *Suite) Table4(w io.Writer, datasets []string) ([]Table4Row, error) {
 	}
 	scale := s.EquivScale()
 
-	for _, name := range datasets {
+	// Datasets fan out on the worker pool (each owns a distinct trained
+	// system); variants stay serial within a dataset because they share
+	// that system's tuning accountant. Row maps are filled serially below,
+	// in dataset order.
+	type dsResult struct {
+		runtimes []float64 // per variant, already scaled
+		err      error
+	}
+	perDS := parallel.Map(len(datasets), func(di int) dsResult {
+		name := datasets[di]
 		t, err := s.System(name)
 		if err != nil {
-			return nil, err
+			return dsResult{err: err}
 		}
 		// Tune each variant on validation, evaluate its curve on test.
 		type varCurve struct {
@@ -85,6 +95,7 @@ func (s *Suite) Table4(w io.Writer, datasets []string) ([]Table4Row, error) {
 				}
 			}
 		}
+		out := dsResult{runtimes: make([]float64, len(variants))}
 		for i := range variants {
 			best := -1.0
 			for _, p := range curves[i].pts {
@@ -103,7 +114,16 @@ func (s *Suite) Table4(w io.Writer, datasets []string) ([]Table4Row, error) {
 				}
 				best = mostAcc.Runtime
 			}
-			rows[i].Runtime[name] = best * scale
+			out.runtimes[i] = best * scale
+		}
+		return out
+	})
+	for di, name := range datasets {
+		if perDS[di].err != nil {
+			return nil, perDS[di].err
+		}
+		for i := range variants {
+			rows[i].Runtime[name] = perDS[di].runtimes[i]
 		}
 	}
 

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"otif/internal/dataset"
+	"otif/internal/parallel"
+)
+
+// TestTrackCurvesDeterministicAcrossWorkerCounts trains two fresh suites
+// from the same spec and seed — one serial, one on the worker pool — and
+// asserts the full method curves match bit for bit.
+func TestTrackCurvesDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := dataset.SetSpec{Clips: 2, ClipSeconds: 4}
+
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	serial, err := NewSuite(spec, 7).TrackCurves("caldot1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	par, err := NewSuite(spec, 7).TrackCurves("caldot1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, serial) {
+		t.Errorf("parallel curves differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestSuiteSystemConcurrent hammers one suite from many goroutines (run
+// under -race): concurrent callers for the same dataset must share one
+// training run, and different datasets must not corrupt each other.
+func TestSuiteSystemConcurrent(t *testing.T) {
+	s := NewSuite(dataset.SetSpec{Clips: 2, ClipSeconds: 4}, 7)
+	datasets := []string{"caldot1", "jackson"}
+	var wg sync.WaitGroup
+	results := make([]*trained, 4*len(datasets))
+	for g := 0; g < len(results); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr, err := s.System(datasets[g%len(datasets)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = tr
+		}(g)
+	}
+	wg.Wait()
+	for g, tr := range results {
+		if tr == nil {
+			continue
+		}
+		first := results[g%len(datasets)]
+		if tr != first {
+			t.Errorf("goroutine %d got a different trained system for %s", g, datasets[g%len(datasets)])
+		}
+	}
+}

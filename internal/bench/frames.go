@@ -6,6 +6,7 @@ import (
 
 	"otif/internal/baselines"
 	"otif/internal/geom"
+	"otif/internal/parallel"
 	"otif/internal/query"
 	"otif/internal/tuner"
 )
@@ -114,11 +115,19 @@ func (s *Suite) Table3(w io.Writer, datasets []string) (*Table3Result, error) {
 		Accuracy:       map[string]float64{},
 		DetectorApps:   map[string]float64{},
 	}
-	n := 0
-	for _, pair := range pairs {
+	// Each pair trains and queries its own dataset, so the pairs fan out
+	// on the worker pool; accumulation and printing stay serial, in pair
+	// order, so averages are bit-for-bit identical at any worker count.
+	type pairResult struct {
+		q          baselines.FrameQuery
+		ro, rb, rt baselines.FrameLevelResult
+		err        error
+	}
+	perPair := parallel.Map(len(pairs), func(i int) pairResult {
+		pair := pairs[i]
 		t, err := s.System(pair.ds)
 		if err != nil {
-			return nil, err
+			return pairResult{err: err}
 		}
 		q := buildFrameQuery(t, pair.kind)
 		clips := t.Sys.DS.Test
@@ -128,25 +137,33 @@ func (s *Suite) Table3(w io.Writer, datasets []string) (*Table3Result, error) {
 		// "the same configurations as the ones from Table 2").
 		pt, ok := tuner.FastestWithin(testPointsOTIF(t), Table2Tol)
 		if !ok {
-			return nil, fmt.Errorf("bench: no tuned configuration for %s", pair.ds)
+			return pairResult{err: fmt.Errorf("bench: no tuned configuration for %s", pair.ds)}
 		}
 		otif := baselines.NewOTIFFrames(pt.Cfg)
 		ro := otif.RunFrameQuery(t.Sys, q, clips)
-		accumulate(res, "OTIF", ro)
 
 		blaze := baselines.NewBlazeIt()
 		rb := blaze.RunFrameQuery(t.Sys, q, clips)
-		accumulate(res, "BlazeIt", rb)
 
 		tasti := baselines.NewTASTI()
 		rt := tasti.RunFrameQuery(t.Sys, q, clips, nil, 0)
-		accumulate(res, "TASTI", rt)
+		return pairResult{q: q, ro: ro, rb: rb, rt: rt}
+	})
+	n := 0
+	for i, pair := range pairs {
+		pr := perPair[i]
+		if pr.err != nil {
+			return nil, pr.err
+		}
+		accumulate(res, "OTIF", pr.ro)
+		accumulate(res, "BlazeIt", pr.rb)
+		accumulate(res, "TASTI", pr.rt)
 
 		fprintf(w, "[%s %s] N-query=%v  OTIF(pre=%.0f q=%.2f acc=%.2f)  BlazeIt(pre=%.0f q=%.1f acc=%.2f apps=%d)  TASTI(pre=%.0f q=%.1f acc=%.2f apps=%d)\n",
-			pair.ds, pair.kind, q.Name,
-			ro.PreprocessTime*scale, ro.QueryTime*scale, ro.Accuracy,
-			rb.PreprocessTime*scale, rb.QueryTime*scale, rb.Accuracy, rb.DetectorApps,
-			rt.PreprocessTime*scale, rt.QueryTime*scale, rt.Accuracy, rt.DetectorApps)
+			pair.ds, pair.kind, pr.q.Name,
+			pr.ro.PreprocessTime*scale, pr.ro.QueryTime*scale, pr.ro.Accuracy,
+			pr.rb.PreprocessTime*scale, pr.rb.QueryTime*scale, pr.rb.Accuracy, pr.rb.DetectorApps,
+			pr.rt.PreprocessTime*scale, pr.rt.QueryTime*scale, pr.rt.Accuracy, pr.rt.DetectorApps)
 		n++
 	}
 	if n == 0 {

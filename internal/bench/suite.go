@@ -26,13 +26,32 @@ import (
 
 // Suite lazily builds and memoizes trained pipelines per dataset so tables
 // that share a dataset do not retrain.
+//
+// Memoization is per-dataset singleflight: the suite mutex guards only
+// the entry maps, and each dataset trains under its own sync.Once, so
+// concurrent callers asking for different datasets train them in
+// parallel while concurrent callers asking for the same dataset share
+// one training run. (The previous design held one suite-wide mutex
+// across an entire train+tune, serializing every dataset.)
 type Suite struct {
 	Spec dataset.SetSpec
 	Seed int64
 
 	mu      sync.Mutex
-	systems map[string]*trained
-	curves  map[string][]MethodCurve
+	systems map[string]*systemEntry
+	curves  map[string]*curveEntry
+}
+
+type systemEntry struct {
+	once sync.Once
+	t    *trained
+	err  error
+}
+
+type curveEntry struct {
+	once   sync.Once
+	curves []MethodCurve
+	err    error
 }
 
 // trained is a fully trained system plus its OTIF tuning curve.
@@ -44,29 +63,34 @@ type trained struct {
 
 // NewSuite creates a harness with the given set sizes.
 func NewSuite(spec dataset.SetSpec, seed int64) *Suite {
-	return &Suite{Spec: spec, Seed: seed, systems: map[string]*trained{}, curves: map[string][]MethodCurve{}}
+	return &Suite{Spec: spec, Seed: seed, systems: map[string]*systemEntry{}, curves: map[string]*curveEntry{}}
 }
 
 // System returns the trained system (and OTIF curve) for a dataset,
-// training it on first use.
+// training it on first use. Concurrent calls for the same dataset share
+// one training run; calls for different datasets do not block each other.
 func (s *Suite) System(name string) (*trained, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t, ok := s.systems[name]; ok {
-		return t, nil
+	e, ok := s.systems[name]
+	if !ok {
+		e = &systemEntry{}
+		s.systems[name] = e
 	}
-	ds, err := dataset.Build(name, s.Spec, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	sys := core.NewSystem(ds)
-	metric := core.MetricFor(ds)
-	best, _ := tuner.SelectBest(sys, metric)
-	sys.FinishTraining(best, 42)
-	curve := tuner.Tune(sys, metric, tuner.DefaultOptions())
-	t := &trained{Sys: sys, Metric: metric, Curve: curve}
-	s.systems[name] = t
-	return t, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		ds, err := dataset.Build(name, s.Spec, s.Seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		sys := core.NewSystem(ds)
+		metric := core.MetricFor(ds)
+		best, _ := tuner.SelectBest(sys, metric)
+		sys.FinishTraining(best, 42)
+		curve := tuner.Tune(sys, metric, tuner.DefaultOptions())
+		e.t = &trained{Sys: sys, Metric: metric, Curve: curve}
+	})
+	return e.t, e.err
 }
 
 // EquivScale converts set runtimes to paper-sized one-hour equivalents.
@@ -100,43 +124,45 @@ func testPointsOTIF(t *trained) []tuner.Point {
 // memoized: Table 2 and Figure 5 share one evaluation.
 func (s *Suite) TrackCurves(name string) ([]MethodCurve, error) {
 	s.mu.Lock()
-	if c, ok := s.curves[name]; ok {
-		s.mu.Unlock()
-		return c, nil
+	e, ok := s.curves[name]
+	if !ok {
+		e = &curveEntry{}
+		s.curves[name] = e
 	}
 	s.mu.Unlock()
-	t, err := s.System(name)
-	if err != nil {
-		return nil, err
-	}
-	out := []MethodCurve{{Method: "OTIF", Points: testPointsOTIF(t)}}
-	for _, m := range baselines.All() {
-		cands := m.Tune(t.Sys, t.Metric)
-		// Keep validation-Pareto candidates, then evaluate them on the
-		// unseen test set (the paper's protocol).
-		valPts := make([]tuner.Point, len(cands))
-		for i, c := range cands {
-			valPts[i] = tuner.Point{Runtime: c.ValRuntime, Accuracy: c.ValAccuracy}
+	e.once.Do(func() {
+		t, err := s.System(name)
+		if err != nil {
+			e.err = err
+			return
 		}
-		var pts []tuner.Point
-		qf := 0.0
-		for i, c := range cands {
-			if !onPareto(valPts, i) {
-				continue
+		out := []MethodCurve{{Method: "OTIF", Points: testPointsOTIF(t)}}
+		for _, m := range baselines.All() {
+			cands := m.Tune(t.Sys, t.Metric)
+			// Keep validation-Pareto candidates, then evaluate them on the
+			// unseen test set (the paper's protocol).
+			valPts := make([]tuner.Point, len(cands))
+			for i, c := range cands {
+				valPts[i] = tuner.Point{Runtime: c.ValRuntime, Accuracy: c.ValAccuracy}
 			}
-			res := c.Run(t.Sys.DS.Test)
-			pts = append(pts, tuner.Point{
-				Runtime:  res.Runtime,
-				Accuracy: t.Metric.Accuracy(res.PerClip, t.Sys.DS.Test),
-			})
-			qf = c.QueryFraction
+			var pts []tuner.Point
+			qf := 0.0
+			for i, c := range cands {
+				if !onPareto(valPts, i) {
+					continue
+				}
+				res := c.Run(t.Sys.DS.Test)
+				pts = append(pts, tuner.Point{
+					Runtime:  res.Runtime,
+					Accuracy: t.Metric.Accuracy(res.PerClip, t.Sys.DS.Test),
+				})
+				qf = c.QueryFraction
+			}
+			out = append(out, MethodCurve{Method: m.Name(), Points: pts, QueryFraction: qf})
 		}
-		out = append(out, MethodCurve{Method: m.Name(), Points: pts, QueryFraction: qf})
-	}
-	s.mu.Lock()
-	s.curves[name] = out
-	s.mu.Unlock()
-	return out, nil
+		e.curves = out
+	})
+	return e.curves, e.err
 }
 
 // onPareto reports whether point i is on the Pareto frontier of pts.

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"otif/internal/parallel"
 	"otif/internal/tuner"
 )
 
@@ -44,6 +45,13 @@ func (s *Suite) Table2(w io.Writer, datasets []string) ([]Table2Row, error) {
 		fprintf(w, " %11s", m)
 	}
 	fprintf(w, "\n")
+
+	// Prefetch every dataset's curves on the worker pool: the per-dataset
+	// singleflight entries train concurrently, and the serial loop below
+	// then reads memoized results, printing rows in dataset order.
+	parallel.For(len(datasets), func(i int) {
+		_, _ = s.TrackCurves(datasets[i])
+	})
 
 	curvesByDS := map[string][]MethodCurve{}
 	for _, name := range datasets {
@@ -145,6 +153,9 @@ func (s *Suite) Figure5(w io.Writer, datasets []string) (map[string][]MethodCurv
 		datasets = Table2Datasets
 	}
 	scale := s.EquivScale()
+	parallel.For(len(datasets), func(i int) {
+		_, _ = s.TrackCurves(datasets[i])
+	})
 	out := map[string][]MethodCurve{}
 	for _, name := range datasets {
 		curves, err := s.TrackCurves(name)

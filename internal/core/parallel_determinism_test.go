@@ -1,0 +1,45 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"otif/internal/parallel"
+)
+
+// TestRunSetDeterministicAcrossWorkerCounts asserts the parallel execution
+// contract (DESIGN.md "Parallel execution"): RunSet produces bit-for-bit
+// identical simulated runtimes, cost breakdowns, and query tracks at any
+// worker count, because each clip charges its own shard accountant and the
+// shards merge in clip order.
+func TestRunSetDeterministicAcrossWorkerCounts(t *testing.T) {
+	sys := smallSystem(t)
+	cfgs := []Config{sys.Best}
+	proxied := sys.Best
+	proxied.UseProxy = true
+	proxied.ProxyIdx = 0
+	proxied.ProxyThresh = 0.3
+	proxied.Gap = 2
+	cfgs = append(cfgs, proxied)
+
+	defer parallel.SetWorkers(0)
+	for _, cfg := range cfgs {
+		parallel.SetWorkers(1)
+		serial := sys.RunSet(cfg, sys.DS.Val)
+		for _, workers := range []int{2, 4, 7} {
+			parallel.SetWorkers(workers)
+			par := sys.RunSet(cfg, sys.DS.Val)
+			if par.Runtime != serial.Runtime {
+				t.Errorf("workers=%d cfg=%v: runtime %v != serial %v",
+					workers, cfg, par.Runtime, serial.Runtime)
+			}
+			if !reflect.DeepEqual(par.Breakdown, serial.Breakdown) {
+				t.Errorf("workers=%d cfg=%v: breakdown %v != serial %v",
+					workers, cfg, par.Breakdown, serial.Breakdown)
+			}
+			if !reflect.DeepEqual(par.PerClip, serial.PerClip) {
+				t.Errorf("workers=%d cfg=%v: per-clip tracks differ from serial", workers, cfg)
+			}
+		}
+	}
+}

@@ -37,7 +37,7 @@ func ProbeMatcher(s *System) map[int]ProbeStats {
 						}
 						feats[i] = track.DetFeatures(d, s.DS.Cfg.NomW, s.DS.Cfg.NomH, s.DS.Cfg.FPS, el)
 					}
-					h, _ := s.Recurrent.GRU.RunSequence(feats)
+					h := s.Recurrent.GRU.RunSequenceInfer(feats)
 					tf := track.DetFeatures(target, s.DS.Cfg.NomW, s.DS.Cfg.NomH, s.DS.Cfg.FPS, target.FrameIdx-prefix[len(prefix)-1].FrameIdx)
 					mo := track.MotionFeatures(prefix, target, s.DS.Cfg.NomW, s.DS.Cfg.NomH)
 					p := s.Recurrent.Score(h, tf, mo)

@@ -5,6 +5,7 @@ import (
 	"otif/internal/dataset"
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/parallel"
 	"otif/internal/proxy"
 	"otif/internal/query"
 	"otif/internal/track"
@@ -234,12 +235,25 @@ type SetResult struct {
 
 // RunSet executes cfg over the given clips and returns the per-clip query
 // tracks plus the simulated runtime.
+//
+// Clips run on the parallel worker pool, mirroring the paper's concurrent
+// per-stream execution (§4 runs 16 streams per GPU). Each clip charges a
+// goroutine-local shard accountant; the shards are merged in clip order
+// afterwards, so runtimes and breakdowns are bit-for-bit identical at any
+// worker count (see DESIGN.md "Parallel execution").
 func (s *System) RunSet(cfg Config, clips []*dataset.ClipTruth) *SetResult {
-	acct := costmodel.NewAccountant()
 	out := &SetResult{PerClip: make([][]*query.Track, len(clips))}
-	for i, ct := range clips {
+	shards := make([]*costmodel.Accountant, len(clips))
+	parallel.For(len(clips), func(i int) {
+		ct := clips[i]
+		acct := costmodel.NewAccountant()
 		res := s.RunClip(cfg, ct.Clip, acct)
 		out.PerClip[i] = s.QueryTracks(cfg, res.Tracks, ct.Clip.Len())
+		shards[i] = acct
+	})
+	acct := costmodel.NewAccountant()
+	for _, shard := range shards {
+		acct.Merge(shard)
 	}
 	out.Runtime = acct.Total()
 	out.Breakdown = acct.Breakdown()

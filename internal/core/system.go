@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 
 	"otif/internal/costmodel"
 	"otif/internal/dataset"
@@ -121,8 +122,16 @@ func (s *System) FinishTraining(best Config, seed int64) {
 		s.SStar[i] = res.Tracks
 		// Collect per-frame detections for window selection and proxy
 		// training (a subsample keeps training costs low, like the
-		// paper's sampled training frames).
-		for idx, dets := range res.DetsByFrame {
+		// paper's sampled training frames). Frames are visited in index
+		// order — not map order — so the SGD example order, and therefore
+		// the trained weights, are reproducible run to run.
+		frames := make([]int, 0, len(res.DetsByFrame))
+		for idx := range res.DetsByFrame {
+			frames = append(frames, idx)
+		}
+		sort.Ints(frames)
+		for _, idx := range frames {
+			dets := res.DetsByFrame[idx]
 			boxes := make([]geom.Rect, len(dets))
 			for k, d := range dets {
 				boxes[k] = d.Box

@@ -74,6 +74,15 @@ const (
 
 // Accountant accumulates simulated cost by category. It is safe for
 // concurrent use.
+//
+// For parallel execution the pipeline uses a shard pattern rather than a
+// single shared accountant: each worker charges a goroutine-local
+// accountant (created with NewAccountant) inside its hot loop and the
+// owner folds the shards into the shared accountant with Merge once per
+// unit of work, in a fixed order. That removes all cross-goroutine mutex
+// contention from the hot path and, because both Merge and Total fold
+// categories in sorted order, keeps floating-point totals bit-for-bit
+// reproducible at any worker count.
 type Accountant struct {
 	mu    sync.Mutex
 	total map[Op]float64
@@ -123,6 +132,28 @@ func (a *Accountant) Get(op Op) float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.total[op]
+}
+
+// Merge folds other's accumulated costs into a. Categories are added in
+// sorted order so that merging a fixed sequence of shards always produces
+// the same floating-point totals regardless of map iteration order. Merge
+// locks only a; it snapshots other first, so merging a goroutine-local
+// shard into a shared accountant never holds both locks.
+func (a *Accountant) Merge(other *Accountant) {
+	if a == nil || other == nil {
+		return
+	}
+	b := other.Breakdown()
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	a.mu.Lock()
+	for _, k := range keys {
+		a.total[Op(k)] += b[Op(k)]
+	}
+	a.mu.Unlock()
 }
 
 // Breakdown returns a copy of the per-category totals.

@@ -34,7 +34,8 @@ type gruStep struct {
 }
 
 // Step advances the hidden state by one input. It returns the new hidden
-// state and an opaque record for StepBackward.
+// state and an opaque record for StepBackward. Not safe for concurrent
+// use (the gate layers retain backward state); inference uses StepInfer.
 func (g *GRUCell) Step(h, x Vec) (Vec, *gruStep) {
 	hx := Concat(h, x)
 	z := g.Wz.Forward(hx)
@@ -49,6 +50,25 @@ func (g *GRUCell) Step(h, x Vec) (Vec, *gruStep) {
 		hNew[i] = (1-z[i])*h[i] + z[i]*c[i]
 	}
 	return hNew, &gruStep{h: h.Clone(), x: x.Clone(), z: z, r: r, c: c, hNew: hNew}
+}
+
+// StepInfer advances the hidden state by one input without retaining any
+// backward state, so concurrent inference on a shared cell is safe. The
+// returned state is bit-identical to Step's.
+func (g *GRUCell) StepInfer(h, x Vec) Vec {
+	hx := Concat(h, x)
+	z := g.Wz.Apply(hx)
+	r := g.Wr.Apply(hx)
+	rh := NewVec(g.HiddenSize)
+	for i := range rh {
+		rh[i] = r[i] * h[i]
+	}
+	c := g.Wc.Apply(Concat(rh, x))
+	hNew := NewVec(g.HiddenSize)
+	for i := range hNew {
+		hNew[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	return hNew
 }
 
 // StepBackward backpropagates dL/dh' through one step recorded by Step,
@@ -122,6 +142,17 @@ func (g *GRUCell) RunSequence(xs []Vec) (Vec, []*gruStep) {
 		steps = append(steps, s)
 	}
 	return h, steps
+}
+
+// RunSequenceInfer folds the cell over a sequence of inputs starting from
+// the zero hidden state without retaining backward state (safe for
+// concurrent inference on a shared cell).
+func (g *GRUCell) RunSequenceInfer(xs []Vec) Vec {
+	h := NewVec(g.HiddenSize)
+	for _, x := range xs {
+		h = g.StepInfer(h, x)
+	}
+	return h
 }
 
 // SequenceBackward backpropagates dL/dhFinal through a RunSequence call,

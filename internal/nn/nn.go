@@ -152,18 +152,28 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes the layer output, retaining state for Backward.
+// Forward computes the layer output, retaining state for Backward. Not
+// safe for concurrent use — inference paths that share a model across
+// goroutines must call Apply instead.
 func (d *Dense) Forward(x Vec) Vec {
+	out := d.Apply(x)
+	d.lastIn = x.Clone()
+	d.lastOut = out
+	return out.Clone()
+}
+
+// Apply computes the layer output without retaining backward state. It
+// reads only the weights, so concurrent Apply calls on a shared layer are
+// safe (as long as no goroutine is training the layer).
+func (d *Dense) Apply(x Vec) Vec {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense expected input %d, got %d", d.In, len(x)))
 	}
-	d.lastIn = x.Clone()
 	out := NewVec(d.Out)
 	for i := 0; i < d.Out; i++ {
 		out[i] = d.Act.apply(d.W[i].Dot(x) + d.B[i])
 	}
-	d.lastOut = out
-	return out.Clone()
+	return out
 }
 
 // Backward takes dL/dy and applies an SGD update with learning rate lr,
@@ -218,10 +228,20 @@ func NewMLP(sizes []int, hidden, final Activation, rng *rand.Rand) *MLP {
 	return m
 }
 
-// Forward runs the network on x.
+// Forward runs the network on x, retaining per-layer state for Backward.
+// Not safe for concurrent use; inference paths use Apply.
 func (m *MLP) Forward(x Vec) Vec {
 	for _, l := range m.Layers {
 		x = l.Forward(x)
+	}
+	return x
+}
+
+// Apply runs the network on x without retaining backward state, so
+// concurrent Apply calls on a shared network are safe.
+func (m *MLP) Apply(x Vec) Vec {
+	for _, l := range m.Layers {
+		x = l.Apply(x)
 	}
 	return x
 }

@@ -1,0 +1,114 @@
+// Package parallel provides the bounded worker pool that fans work out
+// across the pipeline, the tuner, and the benchmark harness. The paper's
+// system processes 16 video streams per GPU concurrently (§4); here the
+// same role is played by running clips, tuner candidates, and benchmark
+// datasets on parallel workers.
+//
+// The pool is built for deterministic use: For and Map assign work by
+// index and collect results in index order, so callers that keep all
+// cross-item reduction (cost merging, accuracy averaging, candidate
+// selection) in index order produce bit-for-bit identical results at any
+// worker count. The determinism tests in core, tuner, and bench assert
+// exactly that contract.
+//
+// The worker count is a process-wide setting (GOMAXPROCS by default,
+// overridden by SetWorkers or the -parallel flag on the commands). Nested
+// calls are safe: each For spawns its own bounded goroutine set rather
+// than sharing a fixed pool, so an outer parallel region can run inner
+// ones without deadlock.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured worker count; 0 means "use GOMAXPROCS".
+var workers atomic.Int64
+
+// Workers returns the effective worker count used by For and Map:
+// GOMAXPROCS unless SetWorkers chose a specific value.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the process-wide worker count. n <= 0 restores the
+// default (GOMAXPROCS). SetWorkers(1) forces fully serial execution,
+// which the determinism tests use as the reference path.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// For runs fn(i) for every i in [0, n) on up to Workers() goroutines and
+// returns once all calls have completed. Indices are handed out in order
+// but may complete out of order; callers collect results by writing to
+// caller-owned slices at index i, which yields ordered collection for
+// free. With one worker (or n <= 1) the calls run inline in index order.
+//
+// If any fn panics, For re-panics the first panic value in the calling
+// goroutine after all workers have stopped, so a failure inside a worker
+// surfaces like a failure in a serial loop.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Drain remaining work so sibling workers exit
+					// promptly.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: worker panic: %v", panicked))
+	}
+}
+
+// Map runs fn over [0, n) with For and returns the results in index
+// order. It is the ordered-collection form of the pool: out[i] is always
+// fn(i)'s result regardless of worker count or completion order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(3)
+	defer SetWorkers(0)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d after SetWorkers(-5), want default", got)
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		SetWorkers(w)
+		const n = 1000
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, c)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	var cur, peak int32
+	var mu sync.Mutex
+	For(64, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 3 {
+		t.Errorf("observed %d concurrent calls, want <= 3", peak)
+	}
+}
+
+func TestForSerialRunsInline(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	var order []int
+	For(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(i int) { called = true })
+	For(-3, func(i int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		out := Map(100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "boom") {
+			t.Errorf("panic value = %v, want to contain the original message", r)
+		}
+	}()
+	For(32, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}

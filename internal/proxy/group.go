@@ -16,6 +16,10 @@ type WindowSet struct {
 	NomW, NomH int
 	Sizes      [][2]int  // includes the full-frame size
 	Costs      []float64 // detector execution time per size
+
+	// index maps a window size to its position in Sizes, built once at
+	// construction so per-window cost lookups are O(1) instead of a scan.
+	index map[[2]int]int
 }
 
 // NewWindowSet builds a WindowSet for the given frame size, detector
@@ -33,12 +37,25 @@ func NewWindowSet(nomW, nomH int, perPixel, detScale float64, sizes [][2]int) *W
 	}
 	ws.Sizes = all
 	ws.Costs = make([]float64, len(all))
+	ws.index = make(map[[2]int]int, len(all))
 	for i, s := range all {
 		w := int(float64(s[0])*detScale + 0.5)
 		h := int(float64(s[1])*detScale + 0.5)
 		ws.Costs[i] = costmodel.DetectCost(perPixel, w, h)
+		if _, ok := ws.index[s]; !ok {
+			ws.index[s] = i
+		}
 	}
 	return ws
+}
+
+// IndexOf returns the position of the w x h window size within the set
+// and whether the size is present. Windows produced by Group are always
+// present; callers estimating costs for externally constructed rectangles
+// must handle the not-found case explicitly.
+func (ws *WindowSet) IndexOf(w, h int) (int, bool) {
+	i, ok := ws.index[[2]int{w, h}]
+	return i, ok
 }
 
 // FullFrameCost returns the cost of one whole-frame detector invocation.
@@ -162,19 +179,16 @@ func EstCost(g *Grid, ws *WindowSet) float64 {
 	wins := Group(g, ws)
 	var total float64
 	for _, w := range wins {
-		idx := ws.indexOfSize(int(w.W), int(w.H))
+		idx, ok := ws.IndexOf(int(w.W), int(w.H))
+		if !ok {
+			// Group only emits sizes drawn from ws; bill an unknown size
+			// conservatively at the full-frame cost.
+			total += ws.FullFrameCost()
+			continue
+		}
 		total += ws.Costs[idx]
 	}
 	return total
-}
-
-func (ws *WindowSet) indexOfSize(w, h int) int {
-	for i, s := range ws.Sizes {
-		if s[0] == w && s[1] == h {
-			return i
-		}
-	}
-	return 0
 }
 
 // connectedCellClusters builds one cluster per 8-connected component of

@@ -239,7 +239,14 @@ func (r *Refiner) RefineEndpoints(track geom.Path) (start, end geom.Point, ok bo
 		d := geom.PathDist(track, r.Clusters[ci].Center, PathSamples)
 		scoredList = append(scoredList, scored{ci, d})
 	}
-	sort.Slice(scoredList, func(i, j int) bool { return scoredList[i].dist < scoredList[j].dist })
+	// Ties break on cluster index so the K-nearest cut does not depend on
+	// map iteration order.
+	sort.Slice(scoredList, func(i, j int) bool {
+		if scoredList[i].dist != scoredList[j].dist {
+			return scoredList[i].dist < scoredList[j].dist
+		}
+		return scoredList[i].ci < scoredList[j].ci
+	})
 	// Keep only clusters genuinely similar to the track: a cluster whose
 	// path runs in the opposite direction (or through a different part of
 	// the scene) has a large mean corresponding-point distance and must

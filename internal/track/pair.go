@@ -68,6 +68,7 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	const blocked = 1e6
 	maxDisp := p.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
 	cost := make([][]float64, len(p.active))
+	scored := 0
 	for i, tr := range p.active {
 		cost[i] = make([]float64, len(dets))
 		last := tr.track.Dets[len(tr.track.Dets)-1]
@@ -76,11 +77,16 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 				cost[i][j] = blocked
 				continue
 			}
-			p.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc)
+			scored++
 			f := PairFeatures(last, d, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
-			prob := m.Match.Forward(f)[0]
+			prob := m.Match.Apply(f)[0]
 			cost[i][j] = -math.Log(math.Max(prob, 1e-9))
 		}
+	}
+	// One accountant charge per association round rather than per scored
+	// pair keeps the accountant out of the innermost loop.
+	if scored > 0 {
+		p.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc*float64(scored))
 	}
 	assign := AssignWithThreshold(cost, -math.Log(p.MinProb), blocked)
 

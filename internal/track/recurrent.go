@@ -39,9 +39,10 @@ func NewRecurrentModel(nomW, nomH, fps int, rng *rand.Rand) *RecurrentModel {
 
 // Score returns the matching probability p_{i,j} between the track-level
 // features (GRU state h plus motion-delta features) and a detection
-// feature vector f.
+// feature vector f. It is read-only on the model, so concurrent clip
+// execution can share one trained model.
 func (m *RecurrentModel) Score(h, f, motion nn.Vec) float64 {
-	return m.Match.Forward(nn.Concat(h, f, motion))[0]
+	return m.Match.Apply(nn.Concat(h, f, motion))[0]
 }
 
 // RecurrentTracker applies a trained RecurrentModel online at a fixed
@@ -111,6 +112,7 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	const blocked = 1e6
 	maxDisp := r.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
 	cost := make([][]float64, len(r.active))
+	scored := 0
 	for i, tr := range r.active {
 		cost[i] = make([]float64, len(dets))
 		last := tr.track.Dets[len(tr.track.Dets)-1].Box.Center()
@@ -119,11 +121,16 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 				cost[i][j] = blocked
 				continue
 			}
-			r.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc)
+			scored++
 			motion := MotionFeatures(tr.track.Dets, d, m.NomW, m.NomH)
 			p := m.Score(tr.hidden, feats[j], motion)
 			cost[i][j] = -math.Log(math.Max(p, 1e-9))
 		}
+	}
+	// One accountant charge per association round rather than per scored
+	// pair keeps the accountant out of the innermost loop.
+	if scored > 0 {
+		r.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc*float64(scored))
 	}
 	maxCost := -math.Log(r.MinProb)
 	assign := AssignWithThreshold(cost, maxCost, blocked)
@@ -146,7 +153,7 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 			r.lastConf = p
 		}
 		tr.track.Dets = append(tr.track.Dets, dets[j])
-		tr.hidden, _ = m.GRU.Step(tr.hidden, feats[j])
+		tr.hidden = m.GRU.StepInfer(tr.hidden, feats[j])
 		tr.misses = 0
 		remaining = append(remaining, tr)
 	}
@@ -163,7 +170,7 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 func (r *RecurrentTracker) start(d detect.Detection) {
 	feat := DetFeatures(d, r.Model.NomW, r.Model.NomH, r.Model.FPS, 0)
 	h := nn.NewVec(r.Model.Hidden)
-	h, _ = r.Model.GRU.Step(h, feat)
+	h = r.Model.GRU.StepInfer(h, feat)
 	r.active = append(r.active, &recTrack{
 		track:  Track{Dets: []detect.Detection{d}},
 		hidden: h,

@@ -1,0 +1,41 @@
+package tuner
+
+import (
+	"testing"
+
+	"otif/internal/parallel"
+)
+
+// TestTuneDeterministicAcrossWorkerCounts asserts that the greedy tuner
+// returns an identical curve — same configurations, bit-identical runtimes
+// and accuracies — whether candidate evaluation and cache building run
+// serially or on the worker pool.
+func TestTuneDeterministicAcrossWorkerCounts(t *testing.T) {
+	sys, metric := trainedSystem(t)
+	opts := DefaultOptions()
+
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	serial := Tune(sys, metric, opts)
+	if len(serial) == 0 {
+		t.Fatal("empty serial curve")
+	}
+	for _, workers := range []int{2, 5} {
+		parallel.SetWorkers(workers)
+		par := Tune(sys, metric, opts)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: curve length %d != serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Cfg != serial[i].Cfg {
+				t.Errorf("workers=%d point %d: cfg %v != serial %v", workers, i, par[i].Cfg, serial[i].Cfg)
+			}
+			if par[i].Runtime != serial[i].Runtime {
+				t.Errorf("workers=%d point %d: runtime %v != serial %v", workers, i, par[i].Runtime, serial[i].Runtime)
+			}
+			if par[i].Accuracy != serial[i].Accuracy {
+				t.Errorf("workers=%d point %d: accuracy %v != serial %v", workers, i, par[i].Accuracy, serial[i].Accuracy)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"otif/internal/costmodel"
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/parallel"
 	"otif/internal/proxy"
 	"otif/internal/video"
 )
@@ -62,11 +63,33 @@ type cache struct {
 	proxyScores [][][]float64 // [model][frame][cell]
 	bestBoxes   [][]geom.Rect // [frame] theta_best detections
 	frameCount  int
+
+	// proxyEst memoizes estProxyCost results. The cached frames are
+	// immutable after buildCache, so a proxy setting's estimate depends
+	// only on the key; without the memo every tuning iteration re-ran
+	// Threshold+Group over all cached frames for the full (model x
+	// threshold) grid.
+	proxyEst map[proxyEstKey]proxyEstVal
 }
 
 type detKey struct {
 	arch  detect.Arch
 	scale float64
+}
+
+// proxyEstKey captures every input that can change an estProxyCost
+// result: the proxy model, its threshold, and the detector architecture
+// and scale (which determine the window set's sizes and costs).
+type proxyEstKey struct {
+	model  int
+	thresh float64
+	arch   detect.Arch
+	scale  float64
+}
+
+type proxyEstVal struct {
+	est    float64
+	recall float64
 }
 
 // Tune runs OTIF's greedy joint parameter tuner (§3.5) and returns the
@@ -111,9 +134,15 @@ func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
 		if len(cands) == 0 {
 			break
 		}
+		// Evaluate the iteration's module candidates concurrently; the
+		// tuning-cost charges and the argmax run in candidate order
+		// afterwards, so the chosen point and the accountant totals are
+		// independent of the worker count.
+		points := parallel.Map(len(cands), func(i int) Point {
+			return Evaluate(sys, cands[i], sys.DS.Val, metric)
+		})
 		best := Point{Accuracy: -1}
-		for _, cand := range cands {
-			p := Evaluate(sys, cand, sys.DS.Val, metric)
+		for _, p := range points {
 			sys.Acct.Add(costmodel.OpTune, p.Runtime)
 			if p.Accuracy > best.Accuracy {
 				best = p
@@ -125,28 +154,42 @@ func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
 	return curve
 }
 
-// buildCache runs the caching phase.
+// buildCache runs the caching phase. Both halves fan out on the worker
+// pool — the (arch, scale) detection grid cells are independent
+// evaluations, and the per-clip proxy-score extraction is independent per
+// clip — with all reductions (map fills, accountant charges, frame
+// concatenation) performed in grid/clip order afterwards so the cache is
+// identical at any worker count.
 func buildCache(sys *core.System, metric core.Metric, opts Options) *cache {
-	c := &cache{detTime: map[detKey]float64{}, detAcc: map[detKey]float64{}}
+	c := &cache{
+		detTime:  map[detKey]float64{},
+		detAcc:   map[detKey]float64{},
+		proxyEst: map[proxyEstKey]proxyEstVal{},
+	}
 	if !opts.UseDetection && !opts.UseProxy {
 		return c
 	}
 
 	// Detection grid: runtime and accuracy of each (arch, scale) with the
 	// other parameters from theta_best.
+	var keys []detKey
 	for _, arch := range opts.Archs {
 		for _, scale := range core.DetScaleLadder {
-			cfg := sys.Best
-			cfg.Arch = arch
-			cfg.DetScale = scale
-			cfg.Tracker = opts.Tracker
-			cfg.Refine = sys.DS.FixedCamera && opts.Tracker == core.TrackerRecurrent
-			p := Evaluate(sys, cfg, sys.DS.Val, metric)
-			sys.Acct.Add(costmodel.OpTune, p.Runtime)
-			k := detKey{arch, scale}
-			c.detTime[k] = p.Runtime
-			c.detAcc[k] = p.Accuracy
+			keys = append(keys, detKey{arch, scale})
 		}
+	}
+	gridPts := parallel.Map(len(keys), func(i int) Point {
+		cfg := sys.Best
+		cfg.Arch = keys[i].arch
+		cfg.DetScale = keys[i].scale
+		cfg.Tracker = opts.Tracker
+		cfg.Refine = sys.DS.FixedCamera && opts.Tracker == core.TrackerRecurrent
+		return Evaluate(sys, cfg, sys.DS.Val, metric)
+	})
+	for i, k := range keys {
+		sys.Acct.Add(costmodel.OpTune, gridPts[i].Runtime)
+		c.detTime[k] = gridPts[i].Runtime
+		c.detAcc[k] = gridPts[i].Accuracy
 	}
 
 	if !opts.UseProxy {
@@ -155,11 +198,19 @@ func buildCache(sys *core.System, metric core.Metric, opts Options) *cache {
 	// Proxy cache: per-cell scores for each trained resolution on the
 	// validation frames sampled at theta_best's gap, plus theta_best
 	// detections for recall measurement.
-	acct := costmodel.NewAccountant() // cache-phase cost kept off runtime
-	c.proxyScores = make([][][]float64, len(sys.Proxies))
-	for _, ct := range sys.DS.Val {
+	type clipCache struct {
+		boxes  [][]geom.Rect
+		scores [][][]float64 // [model][frame][cell]
+		acct   *costmodel.Accountant
+	}
+	perClip := parallel.Map(len(sys.DS.Val), func(i int) clipCache {
+		ct := sys.DS.Val[i]
+		cc := clipCache{
+			scores: make([][][]float64, len(sys.Proxies)),
+			acct:   costmodel.NewAccountant(),
+		}
 		detW, detH := sys.Best.DetRes(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH)
-		reader := video.NewReader(ct.Clip, sys.Best.Gap, detW, detH, acct)
+		reader := video.NewReader(ct.Clip, sys.Best.Gap, detW, detH, cc.acct)
 		detector := &detect.Detector{
 			Cfg: detect.Config{
 				Arch: sys.Best.Arch, Width: detW, Height: detH,
@@ -167,7 +218,7 @@ func buildCache(sys *core.System, metric core.Metric, opts Options) *cache {
 			},
 			Background: sys.Background,
 			Classify:   sys.Classifier,
-			Acct:       acct,
+			Acct:       cc.acct,
 		}
 		for {
 			frame, idx := reader.Next()
@@ -176,15 +227,25 @@ func buildCache(sys *core.System, metric core.Metric, opts Options) *cache {
 			}
 			dets := detector.Detect(frame, idx)
 			boxes := make([]geom.Rect, len(dets))
-			for i, d := range dets {
-				boxes[i] = d.Box
+			for k, d := range dets {
+				boxes[k] = d.Box
 			}
-			c.bestBoxes = append(c.bestBoxes, boxes)
+			cc.boxes = append(cc.boxes, boxes)
 			for mi, m := range sys.Proxies {
-				c.proxyScores[mi] = append(c.proxyScores[mi], m.Score(frame, sys.Background, acct))
+				cc.scores[mi] = append(cc.scores[mi], m.Score(frame, sys.Background, cc.acct))
 			}
-			c.frameCount++
 		}
+		return cc
+	})
+	acct := costmodel.NewAccountant() // cache-phase cost kept off runtime
+	c.proxyScores = make([][][]float64, len(sys.Proxies))
+	for _, cc := range perClip {
+		acct.Merge(cc.acct)
+		c.bestBoxes = append(c.bestBoxes, cc.boxes...)
+		for mi := range sys.Proxies {
+			c.proxyScores[mi] = append(c.proxyScores[mi], cc.scores[mi]...)
+		}
+		c.frameCount += len(cc.boxes)
 	}
 	sys.Acct.Add(costmodel.OpTune, acct.Total())
 	return c
@@ -245,9 +306,9 @@ func (c *cache) nextProxy(sys *core.System, cur core.Config, opts Options) (core
 
 	bestRecall := -1.0
 	bestIdx, bestThreshIdx := -1, -1
-	for mi, m := range sys.Proxies {
+	for mi := range sys.Proxies {
 		for ti, th := range core.ProxyThreshLadder {
-			est, recall := c.estProxyCost(sys, mi, th, m.ResW, m.ResH, ws)
+			est, recall := c.estProxyCost(sys, cur, mi, th, ws)
 			if est <= limit && recall > bestRecall {
 				bestRecall = recall
 				bestIdx, bestThreshIdx = mi, ti
@@ -271,23 +332,39 @@ func (c *cache) estConfigCost(sys *core.System, cur core.Config, ws *proxy.Windo
 	if !cur.UseProxy {
 		return ws.FullFrameCost()
 	}
-	m := sys.Proxies[cur.ProxyIdx]
-	est, _ := c.estProxyCost(sys, cur.ProxyIdx, cur.ProxyThresh, m.ResW, m.ResH, ws)
+	est, _ := c.estProxyCost(sys, cur, cur.ProxyIdx, cur.ProxyThresh, ws)
 	return est
 }
 
 // estProxyCost returns the mean per-frame runtime estimate and the recall
 // (fraction of theta_best detections covered by the windows) of a proxy
-// setting over the cached validation frames.
-func (c *cache) estProxyCost(sys *core.System, modelIdx int, thresh float64, resW, resH int, ws *proxy.WindowSet) (est, recall float64) {
+// setting over the cached validation frames. Results are memoized per
+// (model, threshold, detector arch, detector scale): the cached frames
+// are immutable, so repeated grid sweeps across tuning iterations hit the
+// memo instead of re-running Threshold+Group over every frame. ws must be
+// the window set built for cur's detector arch and scale.
+func (c *cache) estProxyCost(sys *core.System, cur core.Config, modelIdx int, thresh float64, ws *proxy.WindowSet) (est, recall float64) {
+	key := proxyEstKey{model: modelIdx, thresh: thresh, arch: cur.Arch, scale: cur.DetScale}
+	if v, ok := c.proxyEst[key]; ok {
+		return v.est, v.recall
+	}
+	m := sys.Proxies[modelIdx]
 	var totalCost float64
 	covered, totalDets := 0, 0
 	for fi := 0; fi < c.frameCount; fi++ {
 		grid := proxy.Threshold(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH, c.proxyScores[modelIdx][fi], thresh)
 		wins := proxy.Group(grid, ws)
-		totalCost += costmodel.ProxyCost(resW, resH)
+		totalCost += costmodel.ProxyCost(m.ResW, m.ResH)
 		for _, w := range wins {
-			totalCost += ws.Costs[windowIndex(ws, w)]
+			idx, ok := ws.IndexOf(int(w.W), int(w.H))
+			if !ok {
+				// Group only emits window sizes drawn from ws; if a window
+				// is somehow unknown, bill it conservatively at the
+				// full-frame cost instead of silently picking a size.
+				totalCost += ws.FullFrameCost()
+				continue
+			}
+			totalCost += ws.Costs[idx]
 		}
 		for _, b := range c.bestBoxes[fi] {
 			totalDets++
@@ -305,16 +382,8 @@ func (c *cache) estProxyCost(sys *core.System, modelIdx int, thresh float64, res
 	} else {
 		recall = float64(covered) / float64(totalDets)
 	}
+	c.proxyEst[key] = proxyEstVal{est: est, recall: recall}
 	return est, recall
-}
-
-func windowIndex(ws *proxy.WindowSet, w geom.Rect) int {
-	for i, s := range ws.Sizes {
-		if s[0] == int(w.W) && s[1] == int(w.H) {
-			return i
-		}
-	}
-	return 0
 }
 
 // nextTracking returns the tracking-module candidate: the next sampling gap

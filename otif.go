@@ -5,9 +5,19 @@ import (
 
 	"otif/internal/core"
 	"otif/internal/dataset"
+	"otif/internal/parallel"
 	"otif/internal/query"
 	"otif/internal/tuner"
 )
+
+// SetParallelism fixes the worker count used by clip execution, tuning and
+// the benchmark harness. n <= 0 restores the default (GOMAXPROCS). Results
+// are bit-for-bit identical at any worker count; SetParallelism(1) forces
+// the serial reference path.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism reports the current worker count.
+func Parallelism() int { return parallel.Workers() }
 
 // SetName selects one of a pipeline's clip sets.
 type SetName string
