@@ -24,6 +24,7 @@ import (
 	"otif/internal/bench"
 	"otif/internal/dataset"
 	"otif/internal/parallel"
+	"otif/internal/video"
 )
 
 func main() {
@@ -36,15 +37,38 @@ func main() {
 		seconds  = flag.Float64("seconds", dataset.DefaultSpec.ClipSeconds, "seconds per clip")
 		seed     = flag.Int64("seed", 7, "sampling seed")
 		nworkers = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
+		perfOut  = flag.String("perf", "", "write the kernel/extraction performance report (JSON) to this file and exit")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*nworkers)
+	video.SetCacheBudget(int64(*cacheMB) << 20)
 
 	spec := dataset.SetSpec{Clips: *clips, ClipSeconds: *seconds}
 	suite := bench.NewSuite(spec, *seed)
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
+	}
+
+	if *perfOut != "" {
+		ds := "caldot1"
+		if len(names) > 0 {
+			ds = names[0]
+		}
+		f, err := os.Create(*perfOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		if err := suite.Perf(f, ds); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote performance report to", *perfOut)
+		return
 	}
 
 	run := func(what string) error {

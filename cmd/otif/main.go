@@ -30,9 +30,11 @@ func main() {
 		loadFm  = flag.String("load", "", "load a trained model bundle instead of training")
 		tracksF = flag.String("tracks", "", "write the extracted track set to this file")
 		nwork   = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cacheMB = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
+	otif.SetCacheMB(*cacheMB)
 
 	if *list {
 		for _, d := range otif.Datasets() {

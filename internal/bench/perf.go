@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"otif/internal/nn"
+	"otif/internal/parallel"
+	"otif/internal/video"
+)
+
+// This file implements `benchtables -perf`: a machine-readable performance
+// report over the zero-allocation inference kernels and the end-to-end
+// extraction path, with and without the frame cache. The report is what
+// BENCH_PR2.json in the repository root is generated from; CI and humans
+// read it to confirm the kernels stay allocation-free and the cache pays
+// for itself.
+
+// PerfRecord is one benchmark result.
+type PerfRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PerfCacheStats summarizes frame-cache effectiveness during the cached
+// end-to-end benchmark run.
+type PerfCacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// PerfReport is the full report emitted by Perf.
+type PerfReport struct {
+	Dataset string         `json:"dataset"`
+	Clips   int            `json:"clips"`
+	Seconds float64        `json:"clip_seconds"`
+	Records []PerfRecord   `json:"records"`
+	Cache   PerfCacheStats `json:"cache"`
+}
+
+func record(name string, fn func(b *testing.B)) PerfRecord {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return PerfRecord{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// Perf runs the kernel microbenchmarks and the end-to-end extraction
+// benchmark (cache on and off) for the named dataset, writing the report
+// as indented JSON. End-to-end runs are serial so allocation counts are
+// deterministic; the cache-on run reports the frame cache's hit rate.
+func (s *Suite) Perf(w io.Writer, name string) error {
+	t, err := s.System(name)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	dense := nn.NewDense(32, 32, nn.ReLUAct, rng)
+	x32 := nn.NewVec(32)
+	for i := range x32 {
+		x32[i] = rng.Float64()
+	}
+	gru := nn.NewGRUCell(7, 16, rng)
+	x7 := nn.NewVec(7)
+	for i := range x7 {
+		x7[i] = rng.Float64()
+	}
+	lr := nn.NewLogReg(4, rng)
+	x4 := nn.Vec{0.3, 0.1, 0.8, 0.5}
+	mlp := nn.NewMLP([]int{28, 24, 1}, nn.ReLUAct, nn.SigmoidAct, rng)
+	x28 := nn.NewVec(28)
+	for i := range x28 {
+		x28[i] = rng.Float64()
+	}
+
+	var sink float64
+	records := []PerfRecord{
+		record("DenseApply", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += dense.Apply(x32)[0]
+			}
+		}),
+		record("DenseApplyInto", func(b *testing.B) {
+			dst := nn.NewVec(32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += dense.ApplyInto(dst, x32)[0]
+			}
+		}),
+		record("GRUStepInfer", func(b *testing.B) {
+			h := nn.NewVec(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += gru.StepInfer(h, x7)[0]
+			}
+		}),
+		record("GRUStepInferInto", func(b *testing.B) {
+			var scr nn.Scratch
+			h := nn.NewVec(16)
+			gru.StepInferInto(h, h, x7, &scr) // warm the scratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += gru.StepInferInto(h, h, x7, &scr)[0]
+			}
+		}),
+		record("LogRegPredict", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += lr.Predict(x4)
+			}
+		}),
+		record("MLPApply", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += mlp.Apply(x28)[0]
+			}
+		}),
+		record("MLPApplyWith", func(b *testing.B) {
+			var scr nn.Scratch
+			mlp.ApplyWith(&scr, x28) // warm the scratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += mlp.ApplyWith(&scr, x28)[0]
+			}
+		}),
+	}
+
+	// End-to-end extraction, serial, cache off then on. The cache budget is
+	// restored afterwards, and a fresh cache is installed before the cached
+	// run so the reported hit rate covers exactly that run.
+	prevWorkers := parallel.Workers()
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prevWorkers)
+	cfg := t.Sys.Best
+	clips := t.Sys.DS.Val
+
+	video.SetCacheBudget(0)
+	records = append(records, record("RunSetCacheOff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += t.Sys.RunSet(cfg, clips).Runtime
+		}
+	}))
+	video.SetCacheBudget(video.DefaultCacheBytes)
+	records = append(records, record("RunSetCacheOn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += t.Sys.RunSet(cfg, clips).Runtime
+		}
+	}))
+	cs := video.GlobalCacheStats()
+	_ = sink
+
+	rep := PerfReport{
+		Dataset: name,
+		Clips:   s.Spec.Clips,
+		Seconds: s.Spec.ClipSeconds,
+		Records: records,
+		Cache: PerfCacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return fmt.Errorf("bench: writing perf report: %w", err)
+	}
+	return nil
+}

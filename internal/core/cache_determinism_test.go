@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"otif/internal/video"
+)
+
+// TestRunSetDeterministicAcrossCacheBudgets asserts the frame-cache
+// contract (DESIGN.md "Inference kernels and caching"): RunSet produces
+// bit-for-bit identical simulated runtimes, cost breakdowns and query
+// tracks whether the process-wide frame cache is enabled, tiny (thrashing)
+// or disabled — the cache only changes wall-clock speed, never results.
+func TestRunSetDeterministicAcrossCacheBudgets(t *testing.T) {
+	defer video.SetCacheBudget(video.DefaultCacheBytes)
+
+	sys := smallSystem(t)
+	proxied := sys.Best
+	proxied.UseProxy = true
+	proxied.ProxyIdx = 0
+	proxied.ProxyThresh = 0.3
+	proxied.Gap = 2
+
+	for _, cfg := range []Config{sys.Best, proxied} {
+		video.SetCacheBudget(0)
+		uncached := sys.RunSet(cfg, sys.DS.Val)
+		for _, budget := range []int64{video.DefaultCacheBytes, 64 << 10} {
+			video.SetCacheBudget(budget)
+			cached := sys.RunSet(cfg, sys.DS.Val)
+			if cached.Runtime != uncached.Runtime {
+				t.Errorf("budget=%d cfg=%v: runtime %v != uncached %v",
+					budget, cfg, cached.Runtime, uncached.Runtime)
+			}
+			if !reflect.DeepEqual(cached.Breakdown, uncached.Breakdown) {
+				t.Errorf("budget=%d cfg=%v: breakdown %v != uncached %v",
+					budget, cfg, cached.Breakdown, uncached.Breakdown)
+			}
+			if !reflect.DeepEqual(cached.PerClip, uncached.PerClip) {
+				t.Errorf("budget=%d cfg=%v: per-clip tracks differ from uncached run", budget, cfg)
+			}
+		}
+	}
+}
+
+// TestRunSetRepeatableWithScratchReuse runs the same configuration twice
+// through the same system. The second run reuses every warmed scratch
+// buffer (tracker match scratch, detector analysis scratch, assignment
+// scratch), so equality proves buffer reuse never leaks state between
+// frames, clips or runs.
+func TestRunSetRepeatableWithScratchReuse(t *testing.T) {
+	sys := smallSystem(t)
+	cfg := sys.Best
+	cfg.UseProxy = true
+	cfg.ProxyIdx = 0
+	cfg.ProxyThresh = 0.3
+	cfg.Gap = 2
+
+	first := sys.RunSet(cfg, sys.DS.Val)
+	second := sys.RunSet(cfg, sys.DS.Val)
+	if first.Runtime != second.Runtime {
+		t.Errorf("repeat runtime %v != first %v", second.Runtime, first.Runtime)
+	}
+	if !reflect.DeepEqual(first.PerClip, second.PerClip) {
+		t.Error("repeat run produced different tracks")
+	}
+}

@@ -56,11 +56,16 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 	tracker := s.newTracker(cfg, acct)
 	res := &ClipResult{DetsByFrame: map[int][]detect.Detection{}}
 
+	// One grid allocation per clip, reused by every processed frame.
+	var grid *proxy.Grid
+	if pm != nil {
+		grid = proxy.NewGrid(s.DS.Cfg.NomW, s.DS.Cfg.NomH)
+	}
 	processFrame := func(frame *video.Frame, idx, gapUsed int) {
 		var dets []detect.Detection
 		if pm != nil {
 			scores := pm.Score(frame, s.Background, acct)
-			grid := proxy.Threshold(s.DS.Cfg.NomW, s.DS.Cfg.NomH, scores, cfg.ProxyThresh)
+			proxy.ThresholdInto(grid, scores, cfg.ProxyThresh)
 			wins := proxy.Group(grid, ws)
 			if len(wins) > 0 {
 				dets = detector.DetectWindows(frame, idx, wins)

@@ -99,7 +99,7 @@ func sampleSet(cfg vidsim.Config, spec SetSpec, seedBase int64) []*ClipTruth {
 	for i := 0; i < spec.Clips; i++ {
 		w := vidsim.NewWorld(cfg, spec.ClipSeconds, seedBase+int64(i))
 		out[i] = &ClipTruth{
-			Clip:  &video.Clip{ID: i, Source: &vidsim.Source{World: w}},
+			Clip:  &video.Clip{ID: i, Source: video.NewCachedSource(&vidsim.Source{World: w})},
 			World: w,
 		}
 	}

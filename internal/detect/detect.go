@@ -119,8 +119,14 @@ func NewBackgroundModel(frame *video.Frame) *BackgroundModel {
 func (b *BackgroundModel) Frame() *video.Frame { return b.frame }
 
 // At returns the background downsampled to stored resolution w x h,
-// caching the result for reuse across frames.
+// caching the result for reuse across frames. The returned frame is
+// shared and must be treated as read-only. When the process-wide frame
+// cache is enabled it holds these buffers (under its byte budget);
+// otherwise a per-model map keeps them for the model's lifetime.
 func (b *BackgroundModel) At(w, h int) *video.Frame {
+	if video.CacheEnabled() {
+		return video.CachedDownsample(b.frame, w, h)
+	}
 	key := w<<20 | h
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -142,11 +148,31 @@ type Config struct {
 }
 
 // Detector detects objects in frames or frame windows.
+//
+// A Detector carries reusable analysis scratch, so each instance must be
+// used by one goroutine at a time (every call site in this repository
+// constructs detectors per worker); the models it points to (background,
+// classifier, accountant) remain safely shareable.
 type Detector struct {
 	Cfg        Config
 	Background *BackgroundModel
 	Classify   Classifier
 	Acct       *costmodel.Accountant
+
+	scratch analyzeScratch
+}
+
+// analyzeScratch holds the per-invocation buffers of analyze and
+// connectedComponents, reused across calls to keep the per-frame hot path
+// allocation-free. mask and diff are cleared at the start of every analyze
+// call: analyze only writes the region it inspects, while the component
+// scan reads the whole plane.
+type analyzeScratch struct {
+	mask   []bool
+	diff   []float64
+	labels []int32
+	stack  []int
+	comps  []component
 }
 
 // minComponentPixels is the smallest connected component (in analysis
@@ -216,7 +242,7 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 	if ah < 2 {
 		ah = 2
 	}
-	img := frame.Downsample(aw, ah)
+	img := video.CachedDownsample(frame, aw, ah)
 	bg := d.Background.At(aw, ah)
 
 	// Compensate the global brightness flicker.
@@ -240,8 +266,10 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 	}
 
 	thresh := d.diffThreshold()
-	mask := make([]bool, aw*ah)
-	diff := make([]float64, aw*ah)
+	mask := growSlice(&d.scratch.mask, aw*ah)
+	diff := growSlice(&d.scratch.diff, aw*ah)
+	clear(mask)
+	clear(diff)
 	for y := y0; y < y1; y++ {
 		for x := x0; x < x1; x++ {
 			dv := math.Abs(float64(img.Pix[y*aw+x]) - float64(bg.Pix[y*aw+x]) - offset)
@@ -252,7 +280,7 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 		}
 	}
 
-	comps := connectedComponents(mask, diff, aw, ah)
+	comps := connectedComponentsInto(&d.scratch, mask, diff, aw, ah)
 	var dets []Detection
 	sxN := float64(frame.NomW) / float64(aw)
 	syN := float64(frame.NomH) / float64(ah)
@@ -333,12 +361,32 @@ type component struct {
 	sumDiff                float64
 }
 
+// growSlice resizes *s to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growSlice[T bool | float64 | int32 | int](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
 // connectedComponents labels 4-connected regions of the mask, accumulating
 // per-component extents and difference mass.
 func connectedComponents(mask []bool, diff []float64, w, h int) []component {
-	labels := make([]int32, w*h)
-	var comps []component
-	var stack []int
+	var s analyzeScratch
+	return connectedComponentsInto(&s, mask, diff, w, h)
+}
+
+// connectedComponentsInto is connectedComponents with all working storage
+// (labels, DFS stack, component list) drawn from the scratch. The returned
+// slice aliases s.comps and is valid until the next call with the same
+// scratch.
+func connectedComponentsInto(s *analyzeScratch, mask []bool, diff []float64, w, h int) []component {
+	labels := growSlice(&s.labels, w*h)
+	clear(labels)
+	comps := s.comps[:0]
+	stack := s.stack
 	for start := 0; start < w*h; start++ {
 		if !mask[start] || labels[start] != 0 {
 			continue
@@ -384,6 +432,8 @@ func connectedComponents(mask []bool, diff []float64, w, h int) []component {
 		}
 		comps = append(comps, c)
 	}
+	s.stack = stack
+	s.comps = comps
 	return comps
 }
 

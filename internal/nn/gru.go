@@ -56,19 +56,34 @@ func (g *GRUCell) Step(h, x Vec) (Vec, *gruStep) {
 // backward state, so concurrent inference on a shared cell is safe. The
 // returned state is bit-identical to Step's.
 func (g *GRUCell) StepInfer(h, x Vec) Vec {
-	hx := Concat(h, x)
-	z := g.Wz.Apply(hx)
-	r := g.Wr.Apply(hx)
-	rh := NewVec(g.HiddenSize)
+	var s Scratch
+	return g.StepInferInto(NewVec(g.HiddenSize), h, x, &s)
+}
+
+// StepInferInto advances the hidden state by one input, writing the new
+// state into dst (len HiddenSize) and returning dst. All intermediates
+// live in the scratch, so steady-state calls allocate nothing. dst may
+// alias h (the common in-place update), but must not alias a scratch
+// buffer. Output is bit-identical to StepInfer's.
+func (g *GRUCell) StepInferInto(dst, h, x Vec, s *Scratch) Vec {
+	n := g.HiddenSize
+	hx := growVec(&s.hx, n+len(x))
+	copy(hx, h)
+	copy(hx[n:], x)
+	z := g.Wz.ApplyInto(growVec(&s.z, n), hx)
+	r := g.Wr.ApplyInto(growVec(&s.r, n), hx)
+	rh := growVec(&s.rh, n)
 	for i := range rh {
 		rh[i] = r[i] * h[i]
 	}
-	c := g.Wc.Apply(Concat(rh, x))
-	hNew := NewVec(g.HiddenSize)
-	for i := range hNew {
-		hNew[i] = (1-z[i])*h[i] + z[i]*c[i]
+	rhx := growVec(&s.rhx, n+len(x))
+	copy(rhx, rh)
+	copy(rhx[n:], x)
+	c := g.Wc.ApplyInto(growVec(&s.c, n), rhx)
+	for i := 0; i < n; i++ {
+		dst[i] = (1-z[i])*h[i] + z[i]*c[i]
 	}
-	return hNew
+	return dst
 }
 
 // StepBackward backpropagates dL/dh' through one step recorded by Step,
@@ -125,9 +140,12 @@ func (g *GRUCell) StepBackward(s *gruStep, dHNew Vec, lr, clip float64) (dH, dX 
 
 // refresh restores the layer's retained forward state to a previously
 // computed (input, output) pair so Backward can be replayed for that call.
+// The layer aliases both vectors rather than cloning them: Backward only
+// reads lastIn/lastOut, and every refresh caller passes vectors that stay
+// unmodified until the matching Backward returns.
 func (d *Dense) refresh(in, out Vec) {
-	d.lastIn = in.Clone()
-	d.lastOut = out.Clone()
+	d.lastIn = in
+	d.lastOut = out
 }
 
 // RunSequence folds the cell over a sequence of inputs starting from the
@@ -148,11 +166,22 @@ func (g *GRUCell) RunSequence(xs []Vec) (Vec, []*gruStep) {
 // the zero hidden state without retaining backward state (safe for
 // concurrent inference on a shared cell).
 func (g *GRUCell) RunSequenceInfer(xs []Vec) Vec {
-	h := NewVec(g.HiddenSize)
-	for _, x := range xs {
-		h = g.StepInfer(h, x)
+	var s Scratch
+	return g.RunSequenceInferInto(NewVec(g.HiddenSize), xs, &s)
+}
+
+// RunSequenceInferInto folds the cell over a sequence of inputs starting
+// from the zero hidden state, accumulating in dst (len HiddenSize) and
+// returning dst. dst is zeroed first; all intermediates live in the
+// scratch, so steady-state calls allocate nothing.
+func (g *GRUCell) RunSequenceInferInto(dst Vec, xs []Vec, s *Scratch) Vec {
+	for i := range dst {
+		dst[i] = 0
 	}
-	return h
+	for _, x := range xs {
+		g.StepInferInto(dst, dst, x, s)
+	}
+	return dst
 }
 
 // SequenceBackward backpropagates dL/dhFinal through a RunSequence call,

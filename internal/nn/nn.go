@@ -8,6 +8,15 @@
 // entropy and squared-error losses, and plain SGD with gradient clipping.
 // All math is float64 and all randomness flows through an explicit
 // *rand.Rand so training is deterministic given a seed.
+//
+// Inference has two tiers. The allocating kernels (Apply, StepInfer,
+// RunSequenceInfer) return fresh vectors and are convenient for training
+// and one-off probes. The zero-allocation kernels (ApplyInto, ApplyWith,
+// StepInferInto, RunSequenceInferInto) write into caller-owned buffers or
+// a reusable Scratch and run without heap allocations in steady state —
+// they are what the per-frame hot path uses. Both tiers perform the exact
+// same float64 operations in the same order, so their outputs are
+// bit-identical.
 package nn
 
 import (
@@ -124,10 +133,35 @@ func (a Activation) derivFromOutput(y float64) float64 {
 	}
 }
 
-// Dense is a fully connected layer with bias: y = act(W x + b).
+// Scratch holds reusable buffers for the zero-allocation inference
+// kernels. A scratch is owned by exactly one goroutine; every kernel call
+// overwrites its buffers, so values returned by scratch-based kernels
+// (ApplyWith) are only valid until the next call with the same scratch.
+// The zero value is ready to use — buffers grow on first use and are
+// reused afterwards.
+type Scratch struct {
+	hx, rh, rhx, z, r, c Vec // GRU gate buffers
+	a, b                 Vec // MLP ping-pong buffers
+}
+
+// growVec resizes *v to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growVec(v *Vec, n int) Vec {
+	if cap(*v) < n {
+		*v = make(Vec, n)
+	}
+	*v = (*v)[:n]
+	return *v
+}
+
+// Dense is a fully connected layer with bias: y = act(W x + b). Weights
+// are stored as one flat row-major vector — row i occupies
+// W[i*In : (i+1)*In] — so the inference kernels stream memory linearly and
+// allocate nothing. Row dot products accumulate in the same index order as
+// a slice-of-rows layout would, so results are bit-identical to it.
 type Dense struct {
 	In, Out int
-	W       []Vec // Out rows of length In
+	W       Vec // flat row-major weights, len Out*In
 	B       Vec
 	Act     Activation
 
@@ -139,18 +173,16 @@ type Dense struct {
 // NewDense creates a Dense layer with Xavier-style initialization drawn from
 // rng.
 func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
-	d := &Dense{In: in, Out: out, Act: act, B: NewVec(out)}
+	d := &Dense{In: in, Out: out, Act: act, B: NewVec(out), W: NewVec(in * out)}
 	scale := math.Sqrt(2.0 / float64(in+out))
-	d.W = make([]Vec, out)
 	for i := range d.W {
-		row := NewVec(in)
-		for j := range row {
-			row[j] = rng.NormFloat64() * scale
-		}
-		d.W[i] = row
+		d.W[i] = rng.NormFloat64() * scale
 	}
 	return d
 }
+
+// Row returns row i of the weight matrix as a view into the flat layout.
+func (d *Dense) Row(i int) Vec { return d.W[i*d.In : (i+1)*d.In] }
 
 // Forward computes the layer output, retaining state for Backward. Not
 // safe for concurrent use — inference paths that share a model across
@@ -159,21 +191,36 @@ func (d *Dense) Forward(x Vec) Vec {
 	out := d.Apply(x)
 	d.lastIn = x.Clone()
 	d.lastOut = out
-	return out.Clone()
+	return out
 }
 
 // Apply computes the layer output without retaining backward state. It
 // reads only the weights, so concurrent Apply calls on a shared layer are
 // safe (as long as no goroutine is training the layer).
 func (d *Dense) Apply(x Vec) Vec {
+	return d.ApplyInto(NewVec(d.Out), x)
+}
+
+// ApplyInto computes the layer output into dst (len Out) and returns dst.
+// It allocates nothing and reads only the weights, so concurrent calls on
+// a shared layer are safe as long as each goroutine owns its dst. dst must
+// not alias x.
+func (d *Dense) ApplyInto(dst, x Vec) Vec {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense expected input %d, got %d", d.In, len(x)))
 	}
-	out := NewVec(d.Out)
-	for i := 0; i < d.Out; i++ {
-		out[i] = d.Act.apply(d.W[i].Dot(x) + d.B[i])
+	if len(dst) != d.Out {
+		panic(fmt.Sprintf("nn: dense expected output buffer %d, got %d", d.Out, len(dst)))
 	}
-	return out
+	for i := 0; i < d.Out; i++ {
+		row := d.W[i*d.In : (i+1)*d.In]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = d.Act.apply(s + d.B[i])
+	}
+	return dst
 }
 
 // Backward takes dL/dy and applies an SGD update with learning rate lr,
@@ -184,9 +231,10 @@ func (d *Dense) Backward(dOut Vec, lr, clip float64) Vec {
 	for i := 0; i < d.Out; i++ {
 		g := dOut[i] * d.Act.derivFromOutput(d.lastOut[i])
 		g = clipVal(g, clip)
+		row := d.W[i*d.In : (i+1)*d.In]
 		for j := 0; j < d.In; j++ {
-			dIn[j] += g * d.W[i][j]
-			d.W[i][j] -= lr * g * d.lastIn[j]
+			dIn[j] += g * row[j]
+			row[j] -= lr * g * d.lastIn[j]
 		}
 		d.B[i] -= lr * g
 	}
@@ -244,6 +292,26 @@ func (m *MLP) Apply(x Vec) Vec {
 		x = l.Apply(x)
 	}
 	return x
+}
+
+// ApplyWith runs the network on x using the scratch's ping-pong buffers,
+// allocating nothing in steady state. The returned vector is owned by the
+// scratch and valid only until its next use. x must not alias the
+// scratch's buffers (a vector previously returned by ApplyWith with the
+// same scratch). Output is bit-identical to Apply's.
+func (m *MLP) ApplyWith(s *Scratch, x Vec) Vec {
+	cur := x
+	for i, l := range m.Layers {
+		var dst Vec
+		if i%2 == 0 {
+			dst = growVec(&s.a, l.Out)
+		} else {
+			dst = growVec(&s.b, l.Out)
+		}
+		l.ApplyInto(dst, cur)
+		cur = dst
+	}
+	return cur
 }
 
 // Backward backpropagates dL/dy through the network with SGD updates.

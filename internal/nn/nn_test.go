@@ -83,12 +83,12 @@ func TestDenseGradient(t *testing.T) {
 
 	// Numerical gradient wrt one weight.
 	const h = 1e-6
-	orig := d.W[0][1]
-	d.W[0][1] = orig + h
+	orig := d.W[1]
+	d.W[1] = orig + h
 	lp := loss()
-	d.W[0][1] = orig - h
+	d.W[1] = orig - h
 	lm := loss()
-	d.W[0][1] = orig
+	d.W[1] = orig
 	numGrad := (lp - lm) / (2 * h)
 
 	// Analytic: run forward, backward with lr so that update = lr*grad;
@@ -100,9 +100,9 @@ func TestDenseGradient(t *testing.T) {
 		dOut[i] = g
 	}
 	const lr = 1e-3
-	before := d.W[0][1]
+	before := d.W[1]
 	d.Backward(dOut, lr, 0)
-	anaGrad := (before - d.W[0][1]) / lr
+	anaGrad := (before - d.W[1]) / lr
 
 	if math.Abs(numGrad-anaGrad) > 1e-4*(1+math.Abs(numGrad)) {
 		t.Errorf("gradient mismatch: numeric %v analytic %v", numGrad, anaGrad)

@@ -205,8 +205,10 @@ func writeDense(w *writer, d *nn.Dense) {
 	w.int(d.In)
 	w.int(d.Out)
 	w.int(int(d.Act))
-	for _, row := range d.W {
-		w.floats(row)
+	// The on-disk format is one row per record; the in-memory layout is a
+	// flat row-major vector, so rows are views into it.
+	for i := 0; i < d.Out; i++ {
+		w.floats(d.Row(i))
 	}
 	w.floats(d.B)
 }
@@ -217,9 +219,13 @@ func readDense(r *reader) (*nn.Dense, error) {
 	if r.err != nil || in <= 0 || out <= 0 || in > 1<<16 || out > 1<<16 {
 		return nil, badLen(r, in*out)
 	}
-	d := &nn.Dense{In: in, Out: out, Act: act, W: make([]nn.Vec, out)}
-	for i := range d.W {
-		d.W[i] = nn.Vec(r.floats())
+	d := &nn.Dense{In: in, Out: out, Act: act, W: nn.NewVec(in * out)}
+	for i := 0; i < out; i++ {
+		row := nn.Vec(r.floats())
+		if r.err == nil && len(row) != in {
+			return nil, badLen(r, len(row))
+		}
+		copy(d.Row(i), row)
 	}
 	d.B = nn.Vec(r.floats())
 	return d, r.err

@@ -15,6 +15,7 @@
 package proxy
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -37,10 +38,14 @@ type Grid struct {
 	Pos  []bool
 }
 
+// GridDims returns the cell-grid dimensions for a nominal frame size.
+func GridDims(nomW, nomH int) (w, h int) {
+	return (nomW + CellSize - 1) / CellSize, (nomH + CellSize - 1) / CellSize
+}
+
 // NewGrid allocates an empty grid for a nominal frame size.
 func NewGrid(nomW, nomH int) *Grid {
-	w := (nomW + CellSize - 1) / CellSize
-	h := (nomH + CellSize - 1) / CellSize
+	w, h := GridDims(nomW, nomH)
 	return &Grid{W: w, H: h, Pos: make([]bool, w*h)}
 }
 
@@ -112,33 +117,34 @@ func (m *Model) analysisSize(f *video.Frame) (int, int) {
 	return aw, ah
 }
 
-// Features computes the per-cell feature vectors of the frame at the
-// model's input resolution using the background model for contrast
-// features. The returned slice has gridW*gridH entries in row-major cell
-// order.
-func (m *Model) Features(frame *video.Frame, bg *detect.BackgroundModel) []nn.Vec {
+// forEachCell streams the per-cell feature vectors of the frame at the
+// model's input resolution to visit, in row-major cell order. The feature
+// vector handed to visit lives in one reused buffer and is only valid for
+// the duration of the call; visit must copy it to retain it. The frame's
+// downsample is served by the process-wide cache.
+func (m *Model) forEachCell(frame *video.Frame, bg *detect.BackgroundModel, visit func(cell int, feat nn.Vec)) {
 	aw, ah := m.analysisSize(frame)
-	img := frame.Downsample(aw, ah)
+	img := video.CachedDownsample(frame, aw, ah)
 	var bgImg *video.Frame
-	if bg != nil {
-		bgImg = bg.At(aw, ah)
-	}
-	imgMean, _ := img.MeanStd(geom.Rect{})
 	var offset float64
-	if bgImg != nil {
+	if bg != nil {
+		// The brightness offset is only meaningful against a background;
+		// without one the full-frame mean would go unused, so skip the pass.
+		bgImg = bg.At(aw, ah)
+		imgMean, _ := img.MeanStd(geom.Rect{})
 		bgMean, _ := bgImg.MeanStd(geom.Rect{})
 		offset = imgMean - bgMean
 	}
 
-	grid := NewGrid(frame.NomW, frame.NomH)
-	out := make([]nn.Vec, grid.W*grid.H)
+	gw, gh := GridDims(frame.NomW, frame.NomH)
 	// Analysis pixels per nominal pixel.
 	sx := float64(aw) / float64(frame.NomW)
 	sy := float64(ah) / float64(frame.NomH)
-	for cy := 0; cy < grid.H; cy++ {
+	var feat [featuresPerCell]float64
+	for cy := 0; cy < gh; cy++ {
 		y0 := clampInt(int(float64(cy*CellSize)*sy), 0, ah-1)
 		y1 := clampInt(int(math.Ceil(float64((cy+1)*CellSize)*sy)), y0+1, ah)
-		for cx := 0; cx < grid.W; cx++ {
+		for cx := 0; cx < gw; cx++ {
 			x0 := clampInt(int(float64(cx*CellSize)*sx), 0, aw-1)
 			x1 := clampInt(int(math.Ceil(float64((cx+1)*CellSize)*sx)), x0+1, aw)
 			var sum, sum2, sumDiff, maxDiff float64
@@ -163,26 +169,49 @@ func (m *Model) Features(frame *video.Frame, bg *detect.BackgroundModel) []nn.Ve
 			if variance < 0 {
 				variance = 0
 			}
-			out[cy*grid.W+cx] = nn.Vec{
-				math.Sqrt(variance) / 32,
-				sumDiff / float64(n) / 48,
-				maxDiff / 64,
-				mean / 255,
-			}
+			feat[0] = math.Sqrt(variance) / 32
+			feat[1] = sumDiff / float64(n) / 48
+			feat[2] = maxDiff / 64
+			feat[3] = mean / 255
+			visit(cy*gw+cx, nn.Vec(feat[:]))
 		}
 	}
-	return out
 }
 
+// Features computes the per-cell feature matrix of the frame at the
+// model's input resolution using the background model for contrast
+// features. Features are written into dst, a caller-owned flat row-major
+// matrix where cell i occupies dst[i*FeatureDim : (i+1)*FeatureDim]; dst
+// is grown if its capacity is insufficient (nil allocates fresh) and the
+// matrix is returned.
+func (m *Model) Features(frame *video.Frame, bg *detect.BackgroundModel, dst []float64) []float64 {
+	gw, gh := GridDims(frame.NomW, frame.NomH)
+	n := gw * gh * featuresPerCell
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	m.forEachCell(frame, bg, func(cell int, feat nn.Vec) {
+		copy(dst[cell*featuresPerCell:(cell+1)*featuresPerCell], feat)
+	})
+	return dst
+}
+
+// FeatureDim is the dimensionality of one cell's feature vector (the row
+// stride of the matrix Features fills).
+const FeatureDim = featuresPerCell
+
 // Score runs the proxy model on a frame, charging simulated proxy cost, and
-// returns the per-cell positive-class probabilities.
+// returns the per-cell positive-class probabilities. Feature computation
+// and the logistic readout are fused per cell, so the only allocation is
+// the returned score slice (which is always fresh: callers retain it).
 func (m *Model) Score(frame *video.Frame, bg *detect.BackgroundModel, acct *costmodel.Accountant) []float64 {
 	acct.Add(costmodel.OpProxy, costmodel.ProxyCost(m.ResW, m.ResH))
-	feats := m.Features(frame, bg)
-	scores := make([]float64, len(feats))
-	for i, f := range feats {
-		scores[i] = m.LR.Predict(f)
-	}
+	gw, gh := GridDims(frame.NomW, frame.NomH)
+	scores := make([]float64, gw*gh)
+	m.forEachCell(frame, bg, func(cell int, feat nn.Vec) {
+		scores[cell] = m.LR.Predict(feat)
+	})
 	return scores
 }
 
@@ -190,10 +219,19 @@ func (m *Model) Score(frame *video.Frame, bg *detect.BackgroundModel, acct *cost
 // confidence threshold B_proxy.
 func Threshold(nomW, nomH int, scores []float64, bProxy float64) *Grid {
 	g := NewGrid(nomW, nomH)
+	ThresholdInto(g, scores, bProxy)
+	return g
+}
+
+// ThresholdInto writes the thresholded scores into an existing grid of the
+// same cell count, letting per-frame loops reuse one grid allocation.
+func ThresholdInto(g *Grid, scores []float64, bProxy float64) {
+	if len(scores) != len(g.Pos) {
+		panic(fmt.Sprintf("proxy: %d scores for a %dx%d grid", len(scores), g.W, g.H))
+	}
 	for i, s := range scores {
 		g.Pos[i] = s >= bProxy
 	}
-	return g
 }
 
 // TrainExample is one frame's worth of proxy training data.
@@ -213,10 +251,12 @@ func (m *Model) Train(examples []TrainExample, bg *detect.BackgroundModel, epoch
 		if len(ex.Boxes) == 0 {
 			continue
 		}
-		feats := m.Features(ex.Frame, bg)
+		// Each example gets its own matrix; the retained row views index
+		// into it without overlapping.
+		feats := m.Features(ex.Frame, bg, nil)
 		truth := TruthGrid(ex.Frame.NomW, ex.Frame.NomH, ex.Boxes)
-		for i, f := range feats {
-			xs = append(xs, f)
+		for i := range truth.Pos {
+			xs = append(xs, nn.Vec(feats[i*featuresPerCell:(i+1)*featuresPerCell]))
 			if truth.Pos[i] {
 				ts = append(ts, 1)
 			} else {

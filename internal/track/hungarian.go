@@ -2,6 +2,21 @@ package track
 
 import "math"
 
+// AssignScratch holds the working storage of the Hungarian solver so
+// per-frame association rounds run without heap allocations. The zero
+// value is ready to use; buffers grow on demand and are reused. A scratch
+// is owned by one goroutine, and the assignment slices its methods return
+// alias the scratch — they are valid until the next call.
+type AssignScratch struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+	rowAssign  []int
+	orig       []int
+	tBuf       []float64
+	tRows      [][]float64
+}
+
 // Hungarian solves the rectangular assignment problem: given an n x m cost
 // matrix, it returns for each row the assigned column (or -1), minimizing
 // total cost. It implements the O(n^2 m) shortest augmenting path variant
@@ -11,6 +26,13 @@ import "math"
 // scores p_{i,j}: costs are -log(p) so the assignment maximizes the joint
 // match likelihood.
 func Hungarian(cost [][]float64) []int {
+	var s AssignScratch
+	return s.Hungarian(cost)
+}
+
+// Hungarian is the scratch-backed solver; see the package function for the
+// problem statement. The returned slice aliases the scratch.
+func (s *AssignScratch) Hungarian(cost [][]float64) []int {
 	n := len(cost)
 	if n == 0 {
 		return nil
@@ -19,9 +41,8 @@ func Hungarian(cost [][]float64) []int {
 	transposed := false
 	if n > m {
 		// The algorithm below requires rows <= cols; transpose if needed.
-		t := make([][]float64, m)
+		t := growMatrix(&s.tRows, &s.tBuf, m, n)
 		for j := 0; j < m; j++ {
-			t[j] = make([]float64, n)
 			for i := 0; i < n; i++ {
 				t[j][i] = cost[i][j]
 			}
@@ -32,19 +53,24 @@ func Hungarian(cost [][]float64) []int {
 	}
 
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, m+1)
-	p := make([]int, m+1) // p[j] = row assigned to column j (1-based, 0 = none)
-	way := make([]int, m+1)
+	u := grow(&s.u, n+1)
+	v := grow(&s.v, m+1)
+	p := grow(&s.p, m+1) // p[j] = row assigned to column j (1-based, 0 = none)
+	way := grow(&s.way, m+1)
+	minv := grow(&s.minv, m+1)
+	used := grow(&s.used, m+1)
+	clear(u)
+	clear(v)
+	clear(p)
+	clear(way)
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, m+1)
-		used := make([]bool, m+1)
 		for j := range minv {
 			minv[j] = inf
 		}
+		clear(used)
 		for {
 			used[j0] = true
 			i0 := p[j0]
@@ -87,7 +113,7 @@ func Hungarian(cost [][]float64) []int {
 		}
 	}
 
-	rowAssign := make([]int, n)
+	rowAssign := grow(&s.rowAssign, n)
 	for i := range rowAssign {
 		rowAssign[i] = -1
 	}
@@ -100,7 +126,7 @@ func Hungarian(cost [][]float64) []int {
 		return rowAssign
 	}
 	// Undo the transpose: rowAssign maps columns to original rows.
-	orig := make([]int, m)
+	orig := grow(&s.orig, m)
 	for i := range orig {
 		orig[i] = -1
 	}
@@ -117,7 +143,14 @@ func Hungarian(cost [][]float64) []int {
 // unassigned). Entries at or above blockCost are treated as forbidden and
 // never assigned.
 func AssignWithThreshold(cost [][]float64, maxCost, blockCost float64) []int {
-	assign := Hungarian(cost)
+	var s AssignScratch
+	return s.AssignWithThreshold(cost, maxCost, blockCost)
+}
+
+// AssignWithThreshold is the scratch-backed variant; the returned slice
+// aliases the scratch.
+func (s *AssignScratch) AssignWithThreshold(cost [][]float64, maxCost, blockCost float64) []int {
+	assign := s.Hungarian(cost)
 	for i, j := range assign {
 		if j >= 0 && (cost[i][j] > maxCost || cost[i][j] >= blockCost) {
 			assign[i] = -1

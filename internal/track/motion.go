@@ -20,6 +20,13 @@ const MotionDim = 5
 // the velocity-predicted center and the candidate center, the size change,
 // and the IoU of the velocity-predicted box with the candidate box.
 func MotionFeatures(prefix []detect.Detection, cand detect.Detection, nomW, nomH int) nn.Vec {
+	return nn.Vec(AppendMotionFeatures(make([]float64, 0, MotionDim), prefix, cand, nomW, nomH))
+}
+
+// AppendMotionFeatures appends the MotionDim motion-delta features to dst
+// and returns the extended slice; with sufficient capacity it allocates
+// nothing. Values are identical to MotionFeatures'.
+func AppendMotionFeatures(dst []float64, prefix []detect.Detection, cand detect.Detection, nomW, nomH int) []float64 {
 	w := float64(nomW)
 	h := float64(nomH)
 	last := prefix[len(prefix)-1]
@@ -35,11 +42,11 @@ func MotionFeatures(prefix []detect.Detection, cand detect.Detection, nomW, nomH
 	dt := float64(cand.FrameIdx - last.FrameIdx)
 	pred := last.Box.Translate(vx*dt, vy*dt)
 	residual := cand.Box.Center().Sub(pred.Center())
-	return nn.Vec{
-		residual.X / w * 4, // scaled so typical residuals use the range
-		residual.Y / h * 4,
-		(cand.Box.W - last.Box.W) / w * 4,
-		(cand.Box.H - last.Box.H) / h * 4,
+	return append(dst,
+		residual.X/w*4, // scaled so typical residuals use the range
+		residual.Y/h*4,
+		(cand.Box.W-last.Box.W)/w*4,
+		(cand.Box.H-last.Box.H)/h*4,
 		pred.IoU(cand.Box),
-	}
+	)
 }

@@ -43,6 +43,10 @@ type PairTracker struct {
 
 	active []*pairTrack
 	done   []*Track
+
+	// scratch makes each Update round allocation-free; it also means a
+	// tracker instance must be driven by a single goroutine.
+	scratch matchScratch
 }
 
 type pairTrack struct {
@@ -65,12 +69,12 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 		return
 	}
 	m := p.Model
+	s := &p.scratch
 	const blocked = 1e6
 	maxDisp := p.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
-	cost := make([][]float64, len(p.active))
+	cost := growMatrix(&s.cost, &s.costBuf, len(p.active), len(dets))
 	scored := 0
 	for i, tr := range p.active {
-		cost[i] = make([]float64, len(dets))
 		last := tr.track.Dets[len(tr.track.Dets)-1]
 		for j, d := range dets {
 			if last.Box.Center().Dist(d.Box.Center()) > maxDisp {
@@ -78,8 +82,8 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 				continue
 			}
 			scored++
-			f := PairFeatures(last, d, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
-			prob := m.Match.Apply(f)[0]
+			s.featBuf = AppendPairFeatures(s.featBuf[:0], last, d, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
+			prob := m.Match.ApplyWith(&s.nn, nn.Vec(s.featBuf))[0]
 			cost[i][j] = -math.Log(math.Max(prob, 1e-9))
 		}
 	}
@@ -88,11 +92,13 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	if scored > 0 {
 		p.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc*float64(scored))
 	}
-	assign := AssignWithThreshold(cost, -math.Log(p.MinProb), blocked)
+	assign := s.assign.AssignWithThreshold(cost, -math.Log(p.MinProb), blocked)
 
-	usedDet := make([]bool, len(dets))
-	var remaining []*pairTrack
-	for i, tr := range p.active {
+	usedDet := grow(&s.usedDet, len(dets))
+	clear(usedDet)
+	active := p.active
+	remaining := p.active[:0] // in-place filter; reads stay ahead of writes
+	for i, tr := range active {
 		j := assign[i]
 		if j < 0 {
 			tr.misses++
@@ -107,6 +113,9 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 		tr.track.Dets = append(tr.track.Dets, dets[j])
 		tr.misses = 0
 		remaining = append(remaining, tr)
+	}
+	for i := len(remaining); i < len(active); i++ {
+		active[i] = nil
 	}
 	p.active = remaining
 	for j, d := range dets {

@@ -74,6 +74,10 @@ type RecurrentTracker struct {
 	// grow (§3.4 of the paper discusses this Miris-style policy; OTIF
 	// defaults to a fixed gap after finding the two comparable).
 	lastConf float64
+
+	// scratch makes each Update round allocation-free; it also means a
+	// tracker instance must be driven by a single goroutine.
+	scratch matchScratch
 }
 
 type recTrack struct {
@@ -97,11 +101,9 @@ func NewRecurrentTracker(model *RecurrentModel, acct *costmodel.Accountant) *Rec
 // Update implements Tracker.
 func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	m := r.Model
+	s := &r.scratch
 	r.lastConf = 1
-	feats := make([]nn.Vec, len(dets))
-	for j, d := range dets {
-		feats[j] = DetFeatures(d, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
-	}
+	feats := s.detFeatureRows(dets, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
 	if len(r.active) == 0 {
 		for _, d := range dets {
 			r.start(d)
@@ -111,10 +113,9 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 
 	const blocked = 1e6
 	maxDisp := r.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
-	cost := make([][]float64, len(r.active))
+	cost := growMatrix(&s.cost, &s.costBuf, len(r.active), len(dets))
 	scored := 0
 	for i, tr := range r.active {
-		cost[i] = make([]float64, len(dets))
 		last := tr.track.Dets[len(tr.track.Dets)-1].Box.Center()
 		for j, d := range dets {
 			if last.Dist(d.Box.Center()) > maxDisp {
@@ -122,8 +123,8 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 				continue
 			}
 			scored++
-			motion := MotionFeatures(tr.track.Dets, d, m.NomW, m.NomH)
-			p := m.Score(tr.hidden, feats[j], motion)
+			s.motion = AppendMotionFeatures(s.motion[:0], tr.track.Dets, d, m.NomW, m.NomH)
+			p := m.scoreWith(s, tr.hidden, feats[j], nn.Vec(s.motion))
 			cost[i][j] = -math.Log(math.Max(p, 1e-9))
 		}
 	}
@@ -133,11 +134,13 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 		r.Acct.Add(costmodel.OpTrack, costmodel.TrackerPerAssoc*float64(scored))
 	}
 	maxCost := -math.Log(r.MinProb)
-	assign := AssignWithThreshold(cost, maxCost, blocked)
+	assign := s.assign.AssignWithThreshold(cost, maxCost, blocked)
 
-	usedDet := make([]bool, len(dets))
-	var remaining []*recTrack
-	for i, tr := range r.active {
+	usedDet := grow(&s.usedDet, len(dets))
+	clear(usedDet)
+	active := r.active
+	remaining := r.active[:0] // in-place filter; reads stay ahead of writes
+	for i, tr := range active {
 		j := assign[i]
 		if j < 0 {
 			tr.misses++
@@ -153,9 +156,14 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 			r.lastConf = p
 		}
 		tr.track.Dets = append(tr.track.Dets, dets[j])
-		tr.hidden = m.GRU.StepInfer(tr.hidden, feats[j])
+		m.GRU.StepInferInto(tr.hidden, tr.hidden, feats[j], &s.nn)
 		tr.misses = 0
 		remaining = append(remaining, tr)
+	}
+	// Drop dangling pointers in the filtered-out suffix so dead tracks can
+	// be collected.
+	for i := len(remaining); i < len(active); i++ {
+		active[i] = nil
 	}
 	r.active = remaining
 	for j, d := range dets {
@@ -165,12 +173,25 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	}
 }
 
+// scoreWith is Score evaluated through the tracker scratch: the inputs are
+// concatenated into a reused buffer and the matching MLP runs on scratch
+// ping-pong buffers. Output is bit-identical to Score's.
+func (m *RecurrentModel) scoreWith(s *matchScratch, h, f, motion nn.Vec) float64 {
+	in := growVec(&s.in, len(h)+len(f)+len(motion))
+	copy(in, h)
+	copy(in[len(h):], f)
+	copy(in[len(h)+len(f):], motion)
+	return m.Match.ApplyWith(&s.nn, in)[0]
+}
+
 // start opens a new track. The first detection's feature uses
-// t_elapsed = 0, matching how training prefixes begin.
+// t_elapsed = 0, matching how training prefixes begin. The hidden vector
+// is freshly allocated — it is retained state owned by the track.
 func (r *RecurrentTracker) start(d detect.Detection) {
-	feat := DetFeatures(d, r.Model.NomW, r.Model.NomH, r.Model.FPS, 0)
+	s := &r.scratch
+	s.startFeat = AppendDetFeatures(s.startFeat[:0], d, r.Model.NomW, r.Model.NomH, r.Model.FPS, 0)
 	h := nn.NewVec(r.Model.Hidden)
-	h = r.Model.GRU.StepInfer(h, feat)
+	r.Model.GRU.StepInferInto(h, h, nn.Vec(s.startFeat), &s.nn)
 	r.active = append(r.active, &recTrack{
 		track:  Track{Dets: []detect.Detection{d}},
 		hidden: h,

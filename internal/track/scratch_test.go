@@ -1,0 +1,92 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+)
+
+// TestAssignScratchMatchesPackageFuncs proves the scratch-backed Hungarian
+// solver returns exactly what the allocating package functions return,
+// including across reuse of one scratch for differently shaped problems.
+func TestAssignScratchMatchesPackageFuncs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var s AssignScratch
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+				if rng.Intn(4) == 0 {
+					cost[i][j] = 1e6 // blocked
+				}
+			}
+		}
+		want := AssignWithThreshold(cost, 5, 1e6)
+		got := s.AssignWithThreshold(cost, 5, 1e6)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d row %d: %d != %d (cost %v)", trial, i, got[i], want[i], cost)
+			}
+		}
+	}
+}
+
+// TestAssignScratchZeroAlloc pins the assignment hot path: once warmed, a
+// scratch-backed solve allocates nothing.
+func TestAssignScratchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	cost := make([][]float64, 6)
+	for i := range cost {
+		cost[i] = make([]float64, 4) // n > m exercises the transpose path
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	var s AssignScratch
+	s.AssignWithThreshold(cost, 5, 1e6) // warm the buffers
+	if n := testing.AllocsPerRun(100, func() { s.AssignWithThreshold(cost, 5, 1e6) }); n != 0 {
+		t.Errorf("AssignScratch.AssignWithThreshold allocates %v per op, want 0", n)
+	}
+}
+
+// TestAppendFeaturesMatchOriginals proves the append-style feature
+// builders produce bit-identical vectors to the allocating originals.
+func TestAppendFeaturesMatchOriginals(t *testing.T) {
+	d1 := detect.Detection{FrameIdx: 4, Box: geom.Rect{X: 30, Y: 40, W: 50, H: 24}, Score: 0.8, AppMean: 120, AppStd: 30}
+	d2 := detect.Detection{FrameIdx: 8, Box: geom.Rect{X: 44, Y: 47, W: 52, H: 25}, Score: 0.7, AppMean: 118, AppStd: 28}
+	d3 := detect.Detection{FrameIdx: 12, Box: geom.Rect{X: 60, Y: 55, W: 51, H: 26}, Score: 0.9, AppMean: 121, AppStd: 29}
+
+	want := DetFeatures(d2, 400, 200, 10, 4)
+	got := AppendDetFeatures(nil, d2, 400, 200, 10, 4)
+	requireSame(t, "DetFeatures", got, want)
+
+	want = PairFeatures(d1, d2, 400, 200, 10, 4)
+	got = AppendPairFeatures(nil, d1, d2, 400, 200, 10, 4)
+	requireSame(t, "PairFeatures", got, want)
+
+	prefix := []detect.Detection{d1, d2}
+	want = MotionFeatures(prefix, d3, 400, 200)
+	got = AppendMotionFeatures(nil, prefix, d3, 400, 200)
+	requireSame(t, "MotionFeatures", got, want)
+}
+
+func requireSame(t *testing.T, what string, got []float64, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != %v (must be bit-identical)", what, i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package tuner
+
+import (
+	"testing"
+
+	"otif/internal/video"
+)
+
+// TestTuneDeterministicAcrossCacheBudgets asserts the tuner returns an
+// identical curve — same configurations, bit-identical runtimes and
+// accuracies — with the process-wide frame cache enabled or disabled. The
+// cache serves repeated clip-frame reads and downsamples during candidate
+// evaluation; it must never change what is computed.
+func TestTuneDeterministicAcrossCacheBudgets(t *testing.T) {
+	defer video.SetCacheBudget(video.DefaultCacheBytes)
+
+	sys, metric := trainedSystem(t)
+	opts := DefaultOptions()
+
+	video.SetCacheBudget(0)
+	uncached := Tune(sys, metric, opts)
+	if len(uncached) == 0 {
+		t.Fatal("empty uncached curve")
+	}
+	video.SetCacheBudget(video.DefaultCacheBytes)
+	cached := Tune(sys, metric, opts)
+	if len(cached) != len(uncached) {
+		t.Fatalf("curve length %d != uncached %d", len(cached), len(uncached))
+	}
+	for i := range uncached {
+		if cached[i].Cfg != uncached[i].Cfg {
+			t.Errorf("point %d: cfg %v != uncached %v", i, cached[i].Cfg, uncached[i].Cfg)
+		}
+		if cached[i].Runtime != uncached[i].Runtime {
+			t.Errorf("point %d: runtime %v != uncached %v", i, cached[i].Runtime, uncached[i].Runtime)
+		}
+		if cached[i].Accuracy != uncached[i].Accuracy {
+			t.Errorf("point %d: accuracy %v != uncached %v", i, cached[i].Accuracy, uncached[i].Accuracy)
+		}
+	}
+}

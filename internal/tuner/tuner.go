@@ -351,8 +351,9 @@ func (c *cache) estProxyCost(sys *core.System, cur core.Config, modelIdx int, th
 	m := sys.Proxies[modelIdx]
 	var totalCost float64
 	covered, totalDets := 0, 0
+	grid := proxy.NewGrid(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH)
 	for fi := 0; fi < c.frameCount; fi++ {
-		grid := proxy.Threshold(sys.DS.Cfg.NomW, sys.DS.Cfg.NomH, c.proxyScores[modelIdx][fi], thresh)
+		proxy.ThresholdInto(grid, c.proxyScores[modelIdx][fi], thresh)
 		wins := proxy.Group(grid, ws)
 		totalCost += costmodel.ProxyCost(m.ResW, m.ResH)
 		for _, w := range wins {

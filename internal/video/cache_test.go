@@ -1,0 +1,256 @@
+package video
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cacheTestFrame(w, h int, fill uint8) *Frame {
+	f := NewFrame(w, h, w*4, h*4)
+	for i := range f.Pix {
+		f.Pix[i] = fill + uint8(i%7)
+	}
+	return f
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1 << 20)
+	f := cacheTestFrame(64, 36, 10)
+	a := c.Downsample(f, 32, 18)
+	b := c.Downsample(f, 32, 18)
+	if a != b {
+		t.Error("repeated downsample should return the cached frame")
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", s.Hits, s.Misses)
+	}
+	if s.Entries != 1 {
+		t.Errorf("entries = %d, want 1", s.Entries)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheResultsBitIdentical(t *testing.T) {
+	c := NewCache(1 << 20)
+	f := cacheTestFrame(64, 36, 42)
+	want := f.Downsample(20, 12)
+	got := c.Downsample(f, 20, 12)
+	if !bytes.Equal(got.Pix, want.Pix) || got.W != want.W || got.H != want.H {
+		t.Error("cached downsample differs from direct computation")
+	}
+	// And again from the cache.
+	got2 := c.Downsample(f, 20, 12)
+	if !bytes.Equal(got2.Pix, want.Pix) {
+		t.Error("cache served a wrong frame on hit")
+	}
+}
+
+func TestCacheSameSizeBypass(t *testing.T) {
+	c := NewCache(1 << 20)
+	f := cacheTestFrame(32, 32, 3)
+	if got := c.Downsample(f, 32, 32); got != f {
+		t.Error("same-size request should return the frame itself")
+	}
+	if s := c.Stats(); s.Hits+s.Misses != 0 {
+		t.Error("same-size request should not touch the cache")
+	}
+}
+
+func TestNilCacheComputes(t *testing.T) {
+	var c *Cache
+	f := cacheTestFrame(64, 36, 9)
+	want := f.Downsample(16, 9)
+	got := c.Downsample(f, 16, 9)
+	if !bytes.Equal(got.Pix, want.Pix) {
+		t.Error("nil cache must still compute correct results")
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zeroes", s)
+	}
+}
+
+// TestCacheLRUEviction drives one shard directly with synthetic keys and
+// checks least-recently-used entries fall out first.
+func TestCacheLRUEviction(t *testing.T) {
+	entryBytes := int64(100 + cacheEntryOverhead)
+	// Budget for exactly 3 entries per shard.
+	c := NewCache(3 * entryBytes * cacheShardCount)
+	mk := func(i int) *Frame {
+		f := NewFrame(10, 10, 40, 40) // len(Pix) = 100
+		f.Pix[0] = uint8(i)
+		return f
+	}
+	// Synthetic keys all landing in one shard: vary b, fix owner/a, filter
+	// by shard index.
+	shard0 := cacheKey{owner: 1, a: 0, b: 0}.shard()
+	var keys []cacheKey
+	for b := 0; len(keys) < 4; b++ {
+		k := cacheKey{owner: 1, a: 0, b: b}
+		if k.shard() == shard0 {
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys[:3] {
+		c.get(k, func() *Frame { return mk(i) })
+	}
+	// Touch keys[0] so keys[1] becomes least recently used.
+	c.get(keys[0], func() *Frame { panic("should be cached") })
+	// Inserting a 4th entry must evict exactly keys[1].
+	c.get(keys[3], func() *Frame { return mk(3) })
+	if c.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions.Load())
+	}
+	sh := &c.shards[shard0]
+	sh.mu.Lock()
+	_, has1 := sh.entries[keys[1]]
+	_, has0 := sh.entries[keys[0]]
+	_, has2 := sh.entries[keys[2]]
+	_, has3 := sh.entries[keys[3]]
+	sh.mu.Unlock()
+	if has1 {
+		t.Error("least recently used entry survived eviction")
+	}
+	if !has0 || !has2 || !has3 {
+		t.Error("recently used entries were evicted")
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	budget := int64(8 << 10)
+	c := NewCache(budget)
+	for i := 0; i < 200; i++ {
+		f := cacheTestFrame(40, 30, uint8(i))
+		c.Downsample(f, 20, 15) // 300 B payload each, distinct owners
+	}
+	s := c.Stats()
+	if s.Bytes > budget {
+		t.Errorf("cache holds %d bytes, budget %d", s.Bytes, budget)
+	}
+	if s.Evictions == 0 {
+		t.Error("expected evictions under a tight budget")
+	}
+}
+
+func TestCacheOversizedEntryUncached(t *testing.T) {
+	c := NewCache(16 * cacheShardCount) // perShard far below any frame
+	f := cacheTestFrame(64, 36, 5)
+	got := c.Downsample(f, 32, 18)
+	want := f.Downsample(32, 18)
+	if !bytes.Equal(got.Pix, want.Pix) {
+		t.Error("oversized result must still be computed correctly")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("oversized entry was cached (%d entries)", s.Entries)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(4 << 20)
+	frames := make([]*Frame, 8)
+	for i := range frames {
+		frames[i] = cacheTestFrame(64, 36, uint8(i*13))
+	}
+	want := make([][]uint8, len(frames))
+	for i, f := range frames {
+		want[i] = f.Downsample(16, 9).Pix
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := (g + iter) % len(frames)
+				got := c.Downsample(frames[i], 16, 9)
+				if !bytes.Equal(got.Pix, want[i]) {
+					t.Errorf("goroutine %d iter %d: wrong pixels", g, iter)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Hits == 0 {
+		t.Error("concurrent repeats should hit the cache")
+	}
+}
+
+type countingSource struct {
+	frames int
+	calls  int
+}
+
+func (s *countingSource) Frame(idx int) *Frame {
+	s.calls++
+	f := NewFrame(8, 8, 32, 32)
+	f.Pix[0] = uint8(idx)
+	return f
+}
+func (s *countingSource) Len() int { return s.frames }
+func (s *countingSource) FPS() int { return 10 }
+
+func TestCachedSourceMemoizes(t *testing.T) {
+	defer SetCacheBudget(DefaultCacheBytes)
+	SetCacheBudget(1 << 20)
+
+	src := &countingSource{frames: 5}
+	cs := NewCachedSource(src)
+	if cs.Len() != 5 || cs.FPS() != 10 {
+		t.Fatal("CachedSource must proxy Len/FPS")
+	}
+	a := cs.Frame(2)
+	b := cs.Frame(2)
+	if src.calls != 1 {
+		t.Errorf("underlying source called %d times, want 1", src.calls)
+	}
+	if a != b || a.Pix[0] != 2 {
+		t.Error("CachedSource returned wrong or uncached frame")
+	}
+
+	// Disabled cache degrades to pass-through.
+	SetCacheBudget(0)
+	if CacheEnabled() {
+		t.Fatal("cache should be disabled")
+	}
+	cs.Frame(2)
+	cs.Frame(2)
+	if src.calls != 3 {
+		t.Errorf("disabled cache: underlying source called %d times, want 3", src.calls)
+	}
+}
+
+func TestSetCacheBudgetResetsStats(t *testing.T) {
+	defer SetCacheBudget(DefaultCacheBytes)
+	SetCacheBudget(1 << 20)
+	f := cacheTestFrame(64, 36, 1)
+	CachedDownsample(f, 16, 9)
+	if GlobalCacheStats().Misses != 1 {
+		t.Fatalf("stats = %+v", GlobalCacheStats())
+	}
+	SetCacheBudget(1 << 20)
+	if s := GlobalCacheStats(); s.Misses != 0 || s.Entries != 0 {
+		t.Errorf("fresh cache should have empty stats, got %+v", s)
+	}
+}
+
+func TestFrameIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		f := NewFrame(2, 2, 8, 8)
+		if f.id == 0 || seen[f.id] {
+			t.Fatalf("frame id %d reused or zero", f.id)
+		}
+		seen[f.id] = true
+	}
+}
+
+func ExampleCacheStats_HitRate() {
+	s := CacheStats{Hits: 3, Misses: 1}
+	fmt.Println(s.HitRate())
+	// Output: 0.75
+}

@@ -16,6 +16,7 @@ package video
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"otif/internal/geom"
 )
@@ -25,12 +26,22 @@ type Frame struct {
 	W, H       int     // stored (simulation) resolution
 	NomW, NomH int     // nominal resolution used for geometry and cost
 	Pix        []uint8 // row-major, len W*H
+
+	// id is a process-unique identity assigned at allocation, used by the
+	// downsample cache to key derived buffers without pinning this frame.
+	// Ids are never reused, so a stale cache entry can go unreferenced but
+	// can never be wrongly returned for a different frame.
+	id uint64
 }
+
+// frameIDs issues process-unique frame identities; see Frame.id.
+var frameIDs atomic.Uint64
 
 // NewFrame allocates a zeroed frame at stored resolution w x h with the
 // given nominal resolution.
 func NewFrame(w, h, nomW, nomH int) *Frame {
-	return &Frame{W: w, H: h, NomW: nomW, NomH: nomH, Pix: make([]uint8, w*h)}
+	return &Frame{W: w, H: h, NomW: nomW, NomH: nomH,
+		Pix: make([]uint8, w*h), id: frameIDs.Add(1)}
 }
 
 // At returns the pixel at stored coordinates (x, y), clamping out-of-range
