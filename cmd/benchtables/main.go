@@ -23,6 +23,7 @@ import (
 
 	"otif/internal/bench"
 	"otif/internal/dataset"
+	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/video"
 )
@@ -39,16 +40,46 @@ func main() {
 		nworkers = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		perfOut  = flag.String("perf", "", "write the kernel/extraction performance report (JSON) to this file and exit")
+		metricsF = flag.Bool("metrics", false, "print the per-stage cost breakdown of one test-set extraction (next to BENCH JSON) and exit")
+		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file on exit")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*nworkers)
 	video.SetCacheBudget(int64(*cacheMB) << 20)
+	if *traceOut != "" {
+		obs.EnableTracing(0)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.CurrentTracer().WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				return
+			}
+			fmt.Println("wrote span trace to", *traceOut)
+		}()
+	}
 
 	spec := dataset.SetSpec{Clips: *clips, ClipSeconds: *seconds}
 	suite := bench.NewSuite(spec, *seed)
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
+	}
+
+	if *metricsF {
+		ds := "caldot1"
+		if len(names) > 0 {
+			ds = names[0]
+		}
+		if err := suite.Metrics(os.Stdout, ds); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *perfOut != "" {

@@ -20,21 +20,26 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("dataset", "caldot1", "dataset name (see -list)")
-		list    = flag.Bool("list", false, "list datasets and exit")
-		curve   = flag.Bool("curve", false, "print the tuned speed-accuracy curve and exit")
-		tol     = flag.Float64("tolerance", 0.05, "accuracy tolerance when picking the execution configuration")
-		clips   = flag.Int("clips", 0, "clips per set (0 = default)")
-		seconds = flag.Float64("seconds", 0, "seconds per clip (0 = default)")
-		saveTo  = flag.String("save", "", "save the trained model bundle to this file")
-		loadFm  = flag.String("load", "", "load a trained model bundle instead of training")
-		tracksF = flag.String("tracks", "", "write the extracted track set to this file")
-		nwork   = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
-		cacheMB = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
+		name     = flag.String("dataset", "caldot1", "dataset name (see -list)")
+		list     = flag.Bool("list", false, "list datasets and exit")
+		curve    = flag.Bool("curve", false, "print the tuned speed-accuracy curve and exit")
+		tol      = flag.Float64("tolerance", 0.05, "accuracy tolerance when picking the execution configuration")
+		clips    = flag.Int("clips", 0, "clips per set (0 = default)")
+		seconds  = flag.Float64("seconds", 0, "seconds per clip (0 = default)")
+		saveTo   = flag.String("save", "", "save the trained model bundle to this file")
+		loadFm   = flag.String("load", "", "load a trained model bundle instead of training")
+		tracksF  = flag.String("tracks", "", "write the extracted track set to this file")
+		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
+		metricsF = flag.Bool("metrics", false, "print the metrics registry (text form) after the run")
+		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
 	otif.SetCacheMB(*cacheMB)
+	if *traceOut != "" {
+		otif.EnableTracing(0)
+	}
 
 	if *list {
 		for _, d := range otif.Datasets() {
@@ -79,16 +84,25 @@ func main() {
 		fmt.Println("saved model bundle to", *saveTo)
 	}
 
-	points := pipe.Tune()
+	points, err := pipe.Tune()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
 	fmt.Println("speed-accuracy curve (validation, simulated seconds):")
 	for _, p := range points {
 		fmt.Printf("  %-55v rt=%8.2fs acc=%.3f\n", p.Cfg, p.Runtime, p.Accuracy)
 	}
 	if *curve {
+		finish(*metricsF, *traceOut)
 		return
 	}
 
-	pick := otif.PickFastestWithin(points, *tol)
+	pick, err := otif.PickFastestWithin(points, *tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nexecuting with %v\n", pick.Cfg)
 	ts, err := pipe.Extract(pick.Cfg, otif.Test)
 	if err != nil {
@@ -153,6 +167,31 @@ func main() {
 	fmt.Printf("  hard-braking tracks (decel >= 250 px/s^2): %d\n", nb)
 	avg := ts.AvgVisible("car")
 	fmt.Printf("  average visible cars per clip: %v\n", fmt.Sprintf("%.1f...", mean(avg)))
+
+	finish(*metricsF, *traceOut)
+}
+
+// finish emits the optional observability outputs: the metrics registry in
+// text form on stdout, and the recorded span trace as JSON to a file.
+func finish(metrics bool, traceOut string) {
+	if metrics {
+		fmt.Println("\nmetrics:")
+		snap := otif.Snapshot()
+		snap.WriteText(os.Stdout)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		if err := otif.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote span trace to", traceOut)
+	}
 }
 
 func mean(v []float64) float64 {

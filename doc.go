@@ -20,13 +20,19 @@
 //
 // # Quick start
 //
-//	pipe, err := otif.Open("caldot1", otif.Options{})
+//	pipe, err := otif.OpenWith("caldot1", otif.WithSeed(7))
 //	if err != nil { ... }
 //	pipe.Train()                    // theta_best, proxies, trackers, refiner
-//	curve := pipe.Tune()            // speed-accuracy curve on validation set
-//	cfg := otif.PickFastestWithin(curve, 0.05)
-//	ts := pipe.Extract(cfg.Config, otif.Test)
+//	curve, err := pipe.Tune()       // speed-accuracy curve on validation set
+//	cfg, err := otif.PickFastestWithin(curve, 0.05)
+//	ts, err := pipe.Extract(cfg.Cfg, otif.Test)
 //	counts := ts.PathBreakdown("car")
+//
+// Tune and Extract have context-aware variants (TuneContext,
+// ExtractContext) that cancel cooperatively at iteration/clip boundaries
+// and report partial progress via *PartialError. Structured progress
+// events are available with OpenWith(name, otif.WithProgress(fn)), and
+// per-stage metrics via otif.Snapshot() (see DESIGN.md §9).
 //
 // GPU inference and real video are replaced by a deterministic simulation
 // substrate (see DESIGN.md); all runtimes the library reports are simulated

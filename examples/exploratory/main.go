@@ -24,8 +24,14 @@ func main() {
 		log.Fatal(err)
 	}
 	pipe.Train()
-	curve := pipe.Tune()
-	pick := otif.PickFastestWithin(curve, 0.05)
+	curve, err := pipe.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tracks, err := pipe.Extract(pick.Cfg, otif.Test)
 	if err != nil {

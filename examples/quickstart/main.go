@@ -16,7 +16,7 @@ import (
 
 func main() {
 	// 1. Sample the dataset (training/validation/test clip sets).
-	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 4, ClipSeconds: 6})
+	pipe, err := otif.OpenWith("caldot1", otif.WithClips(4), otif.WithClipSeconds(6))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +27,10 @@ func main() {
 	fmt.Println("theta_best:", best)
 
 	// 3. Tune: the greedy joint tuner produces a speed-accuracy curve.
-	curve := pipe.Tune()
+	curve, err := pipe.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nspeed-accuracy curve (validation set, simulated seconds):")
 	for _, p := range curve {
 		fmt.Printf("  %8.2fs  accuracy %.3f   %v\n", p.Runtime, p.Accuracy, p.Cfg)
@@ -35,7 +38,10 @@ func main() {
 
 	// 4. Pick a point on the curve: the fastest within 5% of the best
 	//    accuracy (the paper's Table 2 selection rule).
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\npicked: %v (%.1fx faster than the slowest point)\n",
 		pick.Cfg, curve[0].Runtime/pick.Runtime)
 

@@ -25,8 +25,14 @@ func main() {
 	}
 	fmt.Println("training on the tokyo junction analog (10 movements)...")
 	pipe.Train()
-	curve := pipe.Tune()
-	pick := otif.PickFastestWithin(curve, 0.05)
+	curve, err := pipe.Tune()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("tuned configuration: %v (%.2f simulated s over the validation set)\n\n",
 		pick.Cfg, pick.Runtime)
 

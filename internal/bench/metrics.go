@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"otif/internal/obs"
+	"otif/internal/tuner"
+	"otif/internal/video"
+)
+
+// This file implements `benchtables -metrics`: a per-stage cost breakdown
+// of one test-set extraction next to a BENCH-style JSON record. The
+// breakdown comes from the observability registry, whose per-stage cost
+// counters are charged once per RunSet in sorted category order — so the
+// summed breakdown reproduces the extraction's simulated Runtime
+// bit-for-bit (asserted below and surfaced in the output).
+
+// MetricsReport is the machine-readable half of the -metrics output.
+type MetricsReport struct {
+	Dataset string `json:"dataset"`
+	Clips   int    `json:"clips"`
+	// Config is the selected execution configuration (fastest within 5%
+	// of the curve's best accuracy, the Table 2 rule).
+	Config string `json:"config"`
+	// Runtime is the extraction's simulated cost; CostTotal is the sum of
+	// the per-stage registry counters. Exact reports Runtime == CostTotal
+	// bit-for-bit.
+	Runtime   float64            `json:"runtime"`
+	CostTotal float64            `json:"cost_total"`
+	Exact     bool               `json:"exact"`
+	Stages    map[string]float64 `json:"stages"`
+	Counters  map[string]int64   `json:"counters"`
+	Cache     PerfCacheStats     `json:"cache"`
+}
+
+// Metrics trains the dataset (memoized), extracts the test set under the
+// fastest-within-5% configuration with the metrics registry bracketing
+// exactly that run, and writes the per-stage cost breakdown as text plus a
+// BENCH-style JSON record.
+func (s *Suite) Metrics(w io.Writer, name string) error {
+	t, err := s.System(name)
+	if err != nil {
+		return err
+	}
+	pick, ok := tuner.FastestWithin(t.Curve, 0.05)
+	if !ok {
+		return fmt.Errorf("bench: empty tuning curve for %s", name)
+	}
+
+	// Bracket one RunSet between Reset and Snapshot: the snapshot then
+	// holds exactly this extraction's costs and counters.
+	obs.Default.Reset()
+	res := t.Sys.RunSet(pick.Cfg, t.Sys.DS.Test)
+	snap := obs.Default.Snapshot()
+
+	total := snap.CostTotal()
+	exact := total == res.Runtime
+	cs := video.GlobalCacheStats()
+
+	fprintf(w, "per-stage cost breakdown: %s, %d test clips, cfg %v\n",
+		name, len(t.Sys.DS.Test), pick.Cfg)
+	keys := make([]string, 0, len(snap.Costs))
+	for k := range snap.Costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := snap.Costs[k]
+		fprintf(w, "  %-24s %12.4fs  %5.1f%%\n", k, v, 100*v/total)
+	}
+	fprintf(w, "  %-24s %12.4fs\n", "total", total)
+	fprintf(w, "  runtime %.6fs, breakdown sum %.6fs, exact match: %v\n",
+		res.Runtime, total, exact)
+	fprintf(w, "  cache: %d hits, %d misses, hit rate %.3f\n",
+		cs.Hits, cs.Misses, cs.HitRate())
+	if !exact {
+		return fmt.Errorf("bench: breakdown sum %v != runtime %v", total, res.Runtime)
+	}
+
+	rep := MetricsReport{
+		Dataset:   name,
+		Clips:     len(t.Sys.DS.Test),
+		Config:    fmt.Sprintf("%v", pick.Cfg),
+		Runtime:   res.Runtime,
+		CostTotal: total,
+		Exact:     exact,
+		Stages:    snap.Costs,
+		Counters:  snap.Counters,
+		Cache: PerfCacheStats{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+		},
+	}
+	fprintf(w, "BENCH ")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&rep); err != nil {
+		return fmt.Errorf("bench: writing metrics report: %w", err)
+	}
+	return nil
+}

@@ -1,15 +1,29 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"sort"
+
 	"otif/internal/costmodel"
 	"otif/internal/dataset"
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/proxy"
 	"otif/internal/query"
 	"otif/internal/track"
 	"otif/internal/video"
+)
+
+// Pre-registered metric handles for the clip execution path. Handles are
+// package-level so the per-frame hot path records without map lookups or
+// allocation (see internal/obs).
+var (
+	metClips         = obs.Default.Counter("run.clips")
+	metFrames        = obs.Default.Counter("run.frames")
+	metTracksPerClip = obs.Default.Histogram("run.tracks_per_clip", 1, 2, 5, 10, 20, 50, 100)
 )
 
 // ClipResult is the output of running one configuration over one clip.
@@ -62,6 +76,7 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 		grid = proxy.NewGrid(s.DS.Cfg.NomW, s.DS.Cfg.NomH)
 	}
 	processFrame := func(frame *video.Frame, idx, gapUsed int) {
+		metFrames.Inc()
 		var dets []detect.Detection
 		if pm != nil {
 			scores := pm.Score(frame, s.Background, acct)
@@ -94,6 +109,8 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 	// Prune single-detection tracks: they mostly correspond to spurious
 	// detections (§3.4).
 	res.Tracks = track.PruneShort(tracks, 2)
+	metClips.Inc()
+	metTracksPerClip.Observe(float64(len(res.Tracks)))
 	return res
 }
 
@@ -238,6 +255,28 @@ type SetResult struct {
 	Breakdown map[costmodel.Op]float64
 }
 
+// PartialError reports a context-canceled pipeline operation together
+// with how far it got. It wraps the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) work through it.
+type PartialError struct {
+	// Stage names the canceled operation ("extract" or "tune").
+	Stage string
+	// Done counts completed units (clips for extraction, iterations for
+	// tuning) out of Total.
+	Done, Total int
+	// Err is the underlying context error.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("otif: %s canceled after %d/%d: %v", e.Stage, e.Done, e.Total, e.Err)
+}
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
 // RunSet executes cfg over the given clips and returns the per-clip query
 // tracks plus the simulated runtime.
 //
@@ -247,22 +286,75 @@ type SetResult struct {
 // afterwards, so runtimes and breakdowns are bit-for-bit identical at any
 // worker count (see DESIGN.md "Parallel execution").
 func (s *System) RunSet(cfg Config, clips []*dataset.ClipTruth) *SetResult {
+	// context.Background is never canceled, so the error is always nil.
+	res, _ := s.RunSetContext(context.Background(), cfg, clips)
+	return res
+}
+
+// RunSetContext is RunSet with cooperative cancellation at clip
+// boundaries: once ctx is canceled no new clips start, in-flight clips
+// run to completion and the workers drain cleanly. On cancellation it
+// returns the partial result (completed clips' tracks at their indices,
+// nil elsewhere; Runtime covers completed clips only, merged in clip
+// order) together with a *PartialError wrapping ctx.Err().
+//
+// After the clip-order merge the per-category costs are also charged to
+// the process metrics registry ("cost.<op>" float counters) in sorted
+// category order, so a registry snapshot bracketing a single RunSet
+// reproduces the run's Runtime bit-for-bit via
+// MetricsSnapshot.CostTotal.
+func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset.ClipTruth) (*SetResult, error) {
 	out := &SetResult{PerClip: make([][]*query.Track, len(clips))}
 	shards := make([]*costmodel.Accountant, len(clips))
-	parallel.For(len(clips), func(i int) {
+	ctx, setSpan := obs.StartSpan(ctx, "run.set")
+	defer setSpan.End()
+	err := parallel.ForContext(ctx, len(clips), func(i int) {
 		ct := clips[i]
+		_, clipSpan := obs.StartSpan(ctx, "run.clip")
+		defer clipSpan.End()
 		acct := costmodel.NewAccountant()
 		res := s.RunClip(cfg, ct.Clip, acct)
 		out.PerClip[i] = s.QueryTracks(cfg, res.Tracks, ct.Clip.Len())
 		shards[i] = acct
+		s.Progress.Emit(obs.Event{
+			Kind: obs.EventClip, Index: i, Total: len(clips), Runtime: acct.Total(),
+		})
 	})
+	done := 0
 	acct := costmodel.NewAccountant()
 	for _, shard := range shards {
+		if shard == nil {
+			continue
+		}
+		done++
 		acct.Merge(shard)
 	}
 	out.Runtime = acct.Total()
 	out.Breakdown = acct.Breakdown()
-	return out
+	recordCosts(out.Breakdown)
+	if err != nil {
+		return out, &PartialError{Stage: "extract", Done: done, Total: len(clips), Err: err}
+	}
+	return out, nil
+}
+
+// recordCosts charges a run's per-category simulated costs to the
+// process metrics registry. Categories are added in sorted order on the
+// calling goroutine — the same fold order Accountant.Total uses — so the
+// registry's per-stage totals for a single run are bit-identical at any
+// worker count.
+func recordCosts(breakdown map[costmodel.Op]float64) {
+	if !obs.Enabled() || len(breakdown) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(breakdown))
+	for k := range breakdown {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		obs.Default.Cost("cost." + k).Add(breakdown[costmodel.Op(k)])
+	}
 }
 
 // Ctx returns the query context for this dataset's clips.

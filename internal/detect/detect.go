@@ -20,7 +20,16 @@ import (
 
 	"otif/internal/costmodel"
 	"otif/internal/geom"
+	"otif/internal/obs"
 	"otif/internal/video"
+)
+
+// Pre-registered metric handles; recording on the per-frame hot path is
+// a lock-free atomic add with no map lookups or allocation.
+var (
+	metInvocations = obs.Default.Counter("detect.invocations")
+	metWindows     = obs.Default.Counter("detect.windows")
+	metDetections  = obs.Default.Counter("detect.detections")
 )
 
 // Detection is one detected object in nominal frame coordinates.
@@ -192,15 +201,20 @@ func (d *Detector) diffThreshold() float64 {
 // Detect runs the detector on the whole frame, charging cost for one
 // full-frame invocation at the configured input resolution.
 func (d *Detector) Detect(frame *video.Frame, frameIdx int) []Detection {
+	metInvocations.Inc()
 	d.Acct.Add(costmodel.OpDetect,
 		costmodel.DetectCost(d.Cfg.Arch.PerPixelCost(), d.Cfg.Width, d.Cfg.Height))
-	return d.analyze(frame, frameIdx, geom.Rect{}, frame.Bounds())
+	dets := d.analyze(frame, frameIdx, geom.Rect{}, frame.Bounds())
+	metDetections.Add(int64(len(dets)))
+	return dets
 }
 
 // DetectWindows runs the detector inside each window (nominal coordinates),
 // charging per-window cost at the window's share of the configured input
 // resolution, and merges duplicate detections across overlapping windows.
 func (d *Detector) DetectWindows(frame *video.Frame, frameIdx int, windows []geom.Rect) []Detection {
+	metInvocations.Inc()
+	metWindows.Add(int64(len(windows)))
 	scaleX := float64(d.Cfg.Width) / float64(frame.NomW)
 	scaleY := float64(d.Cfg.Height) / float64(frame.NomH)
 	var all []Detection
@@ -216,7 +230,9 @@ func (d *Detector) DetectWindows(frame *video.Frame, frameIdx int, windows []geo
 		d.Acct.Add(costmodel.OpDetect, costmodel.DetectCost(d.Cfg.Arch.PerPixelCost(), w, h))
 		all = append(all, d.analyze(frame, frameIdx, win, win)...)
 	}
-	return dedupe(all)
+	out := dedupe(all)
+	metDetections.Add(int64(len(out)))
+	return out
 }
 
 // analyze performs background subtraction inside region (nominal coords;

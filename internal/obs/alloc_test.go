@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRecordingZeroAlloc is the alloc regression gate for the
+// instrumented frame path: every recording operation the pipeline calls
+// per frame — counter increments, cost adds, gauge sets, histogram
+// observations, a disabled StartSpan, and a nil progress emit — must
+// allocate nothing. CI fails if any of these report > 0 allocs/op.
+func TestRecordingZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc.counter")
+	f := r.Cost("alloc.cost")
+	g := r.Gauge("alloc.gauge")
+	h := r.Histogram("alloc.hist", 1, 10, 100)
+	SetTracer(nil)
+	ctx := context.Background()
+	var nilProgress Progress
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		f.Add(0.125)
+		g.Set(1)
+		h.Observe(12)
+		_, sp := StartSpan(ctx, "detect.window")
+		sp.End()
+		nilProgress.Emit(Event{Kind: EventClip})
+	}); allocs != 0 {
+		t.Fatalf("instrumented hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestDisabledRecordingZeroAlloc asserts the disabled gate is also
+// allocation-free (metrics-off runs pay only atomic loads).
+func TestDisabledRecordingZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc.disabled")
+	h := r.Histogram("alloc.disabled.hist", 1)
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(2)
+	}); allocs != 0 {
+		t.Fatalf("disabled hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

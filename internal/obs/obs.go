@@ -1,0 +1,36 @@
+// Package obs is OTIF's dependency-free observability layer: a metrics
+// registry of atomic counters, gauges and fixed-bucket histograms, a
+// lightweight span tracer, and a structured progress-event callback.
+//
+// The package is built around three constraints set by the pipeline it
+// instruments:
+//
+//   - Zero allocation on the hot path. Metric handles are pre-registered
+//     package-level variables (registration does one locked map lookup,
+//     recording does none), and every recording operation — Counter.Inc,
+//     FloatCounter.Add, Gauge.Set, Histogram.Observe, a disabled
+//     StartSpan, a nil Progress emit — performs no heap allocation. The
+//     alloc regression tests in this package assert exactly that.
+//
+//   - No perturbation of results. Instrumentation only observes: nothing
+//     in this package feeds back into pipeline computation, so extraction
+//     results, simulated runtimes and tuning curves are bit-for-bit
+//     identical with metrics enabled, disabled, or reset mid-run.
+//     Integer counters and histogram buckets commute, so their snapshot
+//     values are identical at any worker count; float cost counters are
+//     charged once per RunSet in sorted category order after the
+//     deterministic clip-order merge, so a single extraction's cost
+//     breakdown is also bit-identical at any worker count.
+//
+//   - No global clock reads in deterministic paths. Span durations come
+//     from the monotonic clock and are recorded only; when no tracer is
+//     installed (the default) StartSpan touches no clock at all and
+//     returns a nil span whose End is a no-op.
+//
+// Default is the process-wide registry the pipeline records into; the
+// root otif package re-exports it as otif.Metrics() / otif.Snapshot().
+package obs
+
+// Default is the process-wide metrics registry used by all pipeline
+// instrumentation.
+var Default = NewRegistry()

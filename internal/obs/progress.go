@@ -1,0 +1,53 @@
+package obs
+
+// Progress receives structured pipeline events: tuner iterations
+// starting, candidate configurations evaluated, clips finishing inside a
+// RunSet, and frame-cache hit-rate snapshots. A nil Progress costs one
+// nil check per event site. Clip events are emitted from parallel
+// workers, so a Progress callback must be safe for concurrent use; event
+// delivery order between clips is unspecified at worker counts above
+// one. Events are observational only — nothing a callback does (short of
+// canceling a context) changes pipeline results.
+type Progress func(Event)
+
+// EventKind names a progress event type.
+type EventKind string
+
+// The progress event kinds.
+const (
+	// EventTuneIter marks the start of one tuner iteration. Iteration and
+	// Total are set.
+	EventTuneIter EventKind = "tune.iter"
+	// EventCandidate reports one evaluated candidate configuration.
+	// Iteration, Index, Config, Runtime and Accuracy are set.
+	EventCandidate EventKind = "tune.candidate"
+	// EventClip reports one clip finishing inside a RunSet. Index, Total
+	// and Runtime (the clip's simulated cost) are set.
+	EventClip EventKind = "clip"
+	// EventCacheSnapshot reports the frame cache hit rate (emitted after
+	// the tuner's caching phase). CacheHitRate is set.
+	EventCacheSnapshot EventKind = "cache"
+)
+
+// Event is one structured progress notification. Only the fields
+// documented on the event's kind are meaningful; the rest are zero.
+type Event struct {
+	Kind      EventKind
+	Iteration int
+	Index     int
+	Total     int
+	// Config is the candidate configuration's string form.
+	Config string
+	// Runtime and Accuracy are simulated seconds and metric accuracy.
+	Runtime  float64
+	Accuracy float64
+	// CacheHitRate is the frame cache hit rate in [0, 1].
+	CacheHitRate float64
+}
+
+// Emit calls p with e when p is non-nil.
+func (p Progress) Emit(e Event) {
+	if p != nil {
+		p(e)
+	}
+}

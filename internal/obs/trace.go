@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing records named, parent-linked durations of pipeline stages
+// (RunSet, per-clip execution, tuner iterations). Tracing is off by
+// default: with no tracer installed, StartSpan reads no clock, allocates
+// nothing, and returns a nil *Span whose End is a no-op — so traced call
+// sites cost one atomic load on deterministic paths. When a tracer is
+// installed, durations come from the monotonic clock and are recorded
+// only; they never feed back into pipeline computation.
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartNS is the span's start offset from the tracer's installation,
+	// DurNS its duration; both in monotonic nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// Tracer collects spans up to a fixed capacity (further spans are
+// counted but dropped, keeping memory bounded on long runs).
+type Tracer struct {
+	start   time.Time
+	max     int
+	ids     atomic.Uint64
+	dropped atomic.Int64
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTracer creates a tracer retaining at most max spans (a non-positive
+// max keeps a generous default).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Tracer{start: time.Now(), max: max}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Dropped reports how many spans were discarded over capacity.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// WriteJSON writes the recorded spans as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	out := struct {
+		Spans   []SpanRecord `json:"spans"`
+		Dropped int64        `json:"dropped"`
+	}{Spans: t.Spans(), Dropped: t.Dropped()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// globalTracer is the installed tracer; nil means tracing is disabled.
+var globalTracer atomic.Pointer[Tracer]
+
+// SetTracer installs (or with nil, removes) the process-wide tracer.
+func SetTracer(t *Tracer) { globalTracer.Store(t) }
+
+// EnableTracing installs a fresh process-wide tracer retaining at most
+// max spans and returns it.
+func EnableTracing(max int) *Tracer {
+	t := NewTracer(max)
+	SetTracer(t)
+	return t
+}
+
+// CurrentTracer returns the installed tracer, or nil when tracing is
+// disabled.
+func CurrentTracer() *Tracer { return globalTracer.Load() }
+
+// spanCtxKey carries the current span id through a context for parent
+// linking.
+type spanCtxKey struct{}
+
+// Span is one in-flight traced operation. A nil Span (returned when
+// tracing is disabled) is valid and End on it is a no-op.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	begin  time.Time
+}
+
+// StartSpan begins a span named name under the span carried by ctx (if
+// any) and returns a derived context carrying the new span for child
+// links. With tracing disabled it returns ctx unchanged and a nil span,
+// reading no clock and allocating nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := globalTracer.Load()
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanCtxKey{}).(uint64)
+	s := &Span{tracer: t, id: t.ids.Add(1), parent: parent, name: name, begin: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s.id), s
+}
+
+// End finishes the span, recording its monotonic duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNS: s.begin.Sub(t.start).Nanoseconds(),
+		DurNS:   time.Since(s.begin).Nanoseconds(),
+	}
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, rec)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.dropped.Add(1)
+}

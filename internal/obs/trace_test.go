@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestStartSpanDisabled(t *testing.T) {
+	SetTracer(nil)
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "noop")
+	if got != ctx {
+		t.Error("disabled StartSpan must return the context unchanged")
+	}
+	if sp != nil {
+		t.Error("disabled StartSpan must return a nil span")
+	}
+	sp.End() // must not panic
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	tr := EnableTracing(16)
+	defer SetTracer(nil)
+
+	ctx, outer := StartSpan(context.Background(), "runset")
+	cctx, inner := StartSpan(ctx, "clip")
+	_ = cctx
+	inner.End()
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Completion order: inner first.
+	if spans[0].Name != "clip" || spans[1].Name != "runset" {
+		t.Fatalf("span names = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("clip parent = %d, want runset id %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != 0 {
+		t.Errorf("root span parent = %d, want 0", spans[1].Parent)
+	}
+	if spans[0].DurNS < 0 || spans[1].DurNS < spans[0].DurNS {
+		t.Errorf("durations not monotonic: %d, %d", spans[0].DurNS, spans[1].DurNS)
+	}
+}
+
+func TestTracerCapacity(t *testing.T) {
+	tr := EnableTracing(2)
+	defer SetTracer(nil)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(context.Background(), "s")
+		sp.End()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("retained %d spans, want 2", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := EnableTracing(8)
+	defer SetTracer(nil)
+	_, sp := StartSpan(context.Background(), "one")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Spans   []SpanRecord `json:"spans"`
+		Dropped int64        `json:"dropped"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) != 1 || out.Spans[0].Name != "one" {
+		t.Errorf("trace JSON = %+v", out)
+	}
+}
+
+func TestProgressEmit(t *testing.T) {
+	var got []Event
+	var p Progress = func(e Event) { got = append(got, e) }
+	p.Emit(Event{Kind: EventClip, Index: 1})
+	var nilP Progress
+	nilP.Emit(Event{Kind: EventClip}) // must not panic
+	if len(got) != 1 || got[0].Kind != EventClip {
+		t.Errorf("events = %+v", got)
+	}
+}

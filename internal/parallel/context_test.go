@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForContextBackgroundMatchesFor(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		const n = 200
+		var visited atomic.Int64
+		if err := ForContext(context.Background(), n, func(i int) { visited.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if visited.Load() != n {
+			t.Fatalf("workers=%d: visited %d of %d", w, visited.Load(), n)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		called := atomic.Bool{}
+		err := ForContext(ctx, 100, func(i int) { called.Store(true) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if called.Load() {
+			t.Errorf("workers=%d: fn ran under a pre-canceled context", w)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForContextCancelMidRunSerial(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	err := ForContext(ctx, 10, func(i int) {
+		ran = append(ran, i)
+		if i == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran %v, want exactly indices 0..3 (in-flight item completes, no new items start)", ran)
+	}
+}
+
+// TestForContextDrainsWorkers cancels mid-run at a parallel worker count
+// and asserts (a) no new items start after all workers observe the
+// cancellation, and (b) every worker goroutine exits — the goroutine
+// count returns to its pre-call level, i.e. cancellation never leaks the
+// pool.
+func TestForContextDrainsWorkers(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 10000
+	var started atomic.Int64
+	err := ForContext(ctx, n, func(i int) {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each of the 4 workers can have had at most a small number of items
+	// in flight around the cancellation; the vast majority of the range
+	// must never have started.
+	if s := started.Load(); s >= n/2 {
+		t.Errorf("%d of %d items started after mid-run cancel", s, n)
+	}
+
+	// The pool must drain: poll until the goroutine count returns to the
+	// pre-call level (other test goroutines may still be winding down).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after cancel = %d, want <= %d (worker leak)", got, before)
+	}
+}
+
+func TestForContextNilErrorAfterCompletion(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ForContext(ctx, 50, func(i int) {}); err != nil {
+		t.Errorf("uncanceled run returned %v", err)
+	}
+}

@@ -16,9 +16,15 @@
 // calls are safe: each For spawns its own bounded goroutine set rather
 // than sharing a fixed pool, so an outer parallel region can run inner
 // ones without deadlock.
+//
+// ForContext adds cooperative cancellation: cancellation stops new work
+// from being claimed and drains the worker goroutines cleanly, which is
+// what the context-aware pipeline entry points (RunSetContext,
+// TuneContext) build their clip- and iteration-boundary checks on.
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -57,8 +63,22 @@ func SetWorkers(n int) {
 // goroutine after all workers have stopped, so a failure inside a worker
 // surfaces like a failure in a serial loop.
 func For(n int, fn func(i int)) {
+	// context.Background is never canceled, so the error is always nil.
+	_ = ForContext(context.Background(), n, fn)
+}
+
+// ForContext is For with cooperative cancellation: workers check
+// ctx.Err() before claiming each index, so once ctx is canceled no new
+// work items start, in-flight fn calls run to completion, and every
+// worker goroutine exits before ForContext returns (cancellation drains
+// the pool cleanly — it never abandons goroutines or interrupts an fn
+// midway). The return value is ctx.Err() if the context was canceled,
+// nil otherwise; on cancellation an unspecified subset of indices was
+// never run, so callers that need progress accounting must track which
+// fn(i) calls completed.
+func ForContext(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := Workers()
 	if w > n {
@@ -66,9 +86,12 @@ func For(n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 
 	var next atomic.Int64
@@ -88,6 +111,9 @@ func For(n int, fn func(i int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -100,6 +126,7 @@ func For(n int, fn func(i int)) {
 	if panicked != nil {
 		panic(fmt.Sprintf("parallel: worker panic: %v", panicked))
 	}
+	return ctx.Err()
 }
 
 // Map runs fn over [0, n) with For and returns the results in index

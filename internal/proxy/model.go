@@ -23,8 +23,13 @@ import (
 	"otif/internal/detect"
 	"otif/internal/geom"
 	"otif/internal/nn"
+	"otif/internal/obs"
 	"otif/internal/video"
 )
+
+// metInvocations counts proxy Score calls; the handle is pre-registered so
+// the per-frame record is a single atomic add.
+var metInvocations = obs.Default.Counter("proxy.invocations")
 
 // CellSize is the nominal pixel size of one proxy output cell.
 const CellSize = 32
@@ -206,6 +211,7 @@ const FeatureDim = featuresPerCell
 // and the logistic readout are fused per cell, so the only allocation is
 // the returned score slice (which is always fresh: callers retain it).
 func (m *Model) Score(frame *video.Frame, bg *detect.BackgroundModel, acct *costmodel.Accountant) []float64 {
+	metInvocations.Inc()
 	acct.Add(costmodel.OpProxy, costmodel.ProxyCost(m.ResW, m.ResH))
 	gw, gh := GridDims(frame.NomW, frame.NomH)
 	scores := make([]float64, gw*gh)

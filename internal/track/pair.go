@@ -62,6 +62,7 @@ func NewPairTracker(model *PairModel, acct *costmodel.Accountant) *PairTracker {
 
 // Update implements Tracker.
 func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
+	metUpdates.Inc()
 	if len(p.active) == 0 {
 		for _, d := range dets {
 			p.start(d)

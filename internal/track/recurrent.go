@@ -100,6 +100,7 @@ func NewRecurrentTracker(model *RecurrentModel, acct *costmodel.Accountant) *Rec
 
 // Update implements Tracker.
 func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
+	metUpdates.Inc()
 	m := r.Model
 	s := &r.scratch
 	r.lastConf = 1

@@ -43,6 +43,7 @@ func (s *sortTrack) predict(gapFrames int) geom.Rect {
 
 // Update implements Tracker.
 func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
+	metUpdates.Inc()
 	if len(s.active) == 0 {
 		for _, d := range dets {
 			s.start(d)

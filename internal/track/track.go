@@ -9,7 +9,12 @@ package track
 import (
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/obs"
 )
+
+// metUpdates counts tracker Update calls across all tracker kinds; the
+// handle is pre-registered so the per-frame record is a single atomic add.
+var metUpdates = obs.Default.Counter("track.updates")
 
 // Track is a sequence of detections of one unique object.
 type Track struct {

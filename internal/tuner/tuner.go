@@ -1,15 +1,24 @@
 package tuner
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"otif/internal/core"
 	"otif/internal/costmodel"
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/proxy"
 	"otif/internal/video"
+)
+
+// Pre-registered metric handles for the tuning loop.
+var (
+	metIterations = obs.Default.Counter("tune.iterations")
+	metCandidates = obs.Default.Counter("tune.candidates")
 )
 
 // DefaultCoarseness is the paper's tuning coarseness C = 30%: each tuning
@@ -35,6 +44,13 @@ type Options struct {
 	// Rate" ablation row pairs the tracking module with SORT; the full
 	// system uses the recurrent tracker).
 	Tracker core.TrackerKind
+
+	// Progress, when non-nil, receives structured tuning events: an
+	// EventCacheSnapshot after the caching phase, an EventTuneIter as
+	// each greedy iteration starts, and an EventCandidate per evaluated
+	// candidate. Candidates evaluate on parallel workers, so the
+	// callback must be safe for concurrent use.
+	Progress obs.Progress
 }
 
 // DefaultOptions returns the paper's tuner settings.
@@ -99,10 +115,44 @@ type proxyEstVal struct {
 // theta_best, asking each module for a ~C-faster candidate and keeping the
 // most accurate, until no module can offer further speedup.
 func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
+	// context.Background is never canceled, so the error is always nil.
+	curve, _ := TuneContext(context.Background(), sys, metric, opts)
+	return curve
+}
+
+// TuneContext is Tune with cooperative cancellation at tuner-iteration
+// boundaries: ctx is checked before the caching phase, before the
+// theta_best evaluation, and at the top of every greedy iteration. On
+// cancellation it returns the curve built so far together with a
+// *core.PartialError (stage "tune", Done = completed iterations)
+// wrapping ctx.Err(). Candidates already submitted for the current
+// iteration run to completion, mirroring RunSetContext's clip-boundary
+// drain.
+func TuneContext(ctx context.Context, sys *core.System, metric core.Metric, opts Options) ([]Point, error) {
 	if opts.C == 0 {
+		// Zero-valued options select the paper defaults; the progress
+		// hook rides along rather than being defaulted away.
+		prog := opts.Progress
 		opts = DefaultOptions()
+		opts.Progress = prog
 	}
+	partial := func(done int, err error) error {
+		return &core.PartialError{Stage: "tune", Done: done, Total: opts.MaxIters, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, partial(0, err)
+	}
+	ctx, tuneSpan := obs.StartSpan(ctx, "tune")
+	defer tuneSpan.End()
+	_, cacheSpan := obs.StartSpan(ctx, "tune.cache")
 	c := buildCache(sys, metric, opts)
+	cacheSpan.End()
+	opts.Progress.Emit(obs.Event{
+		Kind: obs.EventCacheSnapshot, CacheHitRate: video.GlobalCacheStats().HitRate(),
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, partial(0, err)
+	}
 
 	cfg := sys.Best
 	cfg.Tracker = opts.Tracker
@@ -115,6 +165,14 @@ func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
 	curve := []Point{cur}
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return curve, partial(iter, err)
+		}
+		metIterations.Inc()
+		_, iterSpan := obs.StartSpan(ctx, "tune.iter")
+		opts.Progress.Emit(obs.Event{
+			Kind: obs.EventTuneIter, Iteration: iter, Total: opts.MaxIters,
+		})
 		var cands []core.Config
 		if opts.UseDetection {
 			if next, ok := c.nextDetection(cur.Cfg, opts); ok {
@@ -132,14 +190,23 @@ func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
 			}
 		}
 		if len(cands) == 0 {
+			iterSpan.End()
 			break
 		}
 		// Evaluate the iteration's module candidates concurrently; the
 		// tuning-cost charges and the argmax run in candidate order
 		// afterwards, so the chosen point and the accountant totals are
 		// independent of the worker count.
+		metCandidates.Add(int64(len(cands)))
 		points := parallel.Map(len(cands), func(i int) Point {
-			return Evaluate(sys, cands[i], sys.DS.Val, metric)
+			p := Evaluate(sys, cands[i], sys.DS.Val, metric)
+			if opts.Progress != nil {
+				opts.Progress(obs.Event{
+					Kind: obs.EventCandidate, Iteration: iter, Index: i,
+					Config: fmt.Sprintf("%v", p.Cfg), Runtime: p.Runtime, Accuracy: p.Accuracy,
+				})
+			}
+			return p
 		})
 		best := Point{Accuracy: -1}
 		for _, p := range points {
@@ -150,8 +217,9 @@ func Tune(sys *core.System, metric core.Metric, opts Options) []Point {
 		}
 		curve = append(curve, best)
 		cur = best
+		iterSpan.End()
 	}
-	return curve
+	return curve, nil
 }
 
 // buildCache runs the caching phase. Both halves fan out on the worker

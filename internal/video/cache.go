@@ -3,6 +3,8 @@ package video
 import (
 	"sync"
 	"sync/atomic"
+
+	"otif/internal/obs"
 )
 
 // This file implements the bounded, sharded frame cache on the per-frame
@@ -224,7 +226,21 @@ const DefaultCacheBytes int64 = 64 << 20
 // CachedSource. nil means caching is disabled.
 var globalCache atomic.Pointer[Cache]
 
-func init() { SetCacheBudget(DefaultCacheBytes) }
+func init() {
+	SetCacheBudget(DefaultCacheBytes)
+
+	// Cache effectiveness surfaces as registry gauges, evaluated lazily at
+	// snapshot time so the hot path pays nothing for them. Hit/miss counts
+	// depend on worker interleaving (two workers can race to miss the same
+	// key), so these gauges are observational and excluded from determinism
+	// comparisons.
+	obs.Default.GaugeFunc("cache.hits", func() float64 { return float64(GlobalCacheStats().Hits) })
+	obs.Default.GaugeFunc("cache.misses", func() float64 { return float64(GlobalCacheStats().Misses) })
+	obs.Default.GaugeFunc("cache.evictions", func() float64 { return float64(GlobalCacheStats().Evictions) })
+	obs.Default.GaugeFunc("cache.bytes", func() float64 { return float64(GlobalCacheStats().Bytes) })
+	obs.Default.GaugeFunc("cache.entries", func() float64 { return float64(GlobalCacheStats().Entries) })
+	obs.Default.GaugeFunc("cache.hit_rate", func() float64 { return GlobalCacheStats().HitRate() })
+}
 
 // SetCacheBudget replaces the process-wide frame cache with a fresh one of
 // the given byte budget, dropping all cached entries and counters. A

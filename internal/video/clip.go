@@ -4,7 +4,12 @@ import (
 	"fmt"
 
 	"otif/internal/costmodel"
+	"otif/internal/obs"
 )
+
+// metFramesDecoded counts frames returned by Reader.Next across all clips;
+// pre-registered so the per-frame record is a single atomic add.
+var metFramesDecoded = obs.Default.Counter("video.frames_decoded")
 
 // FrameSource produces frames of a clip on demand. Sources are how the
 // pipeline reads video: reduced-rate methods ask only for the frames they
@@ -80,6 +85,7 @@ func (r *Reader) Next() (*Frame, int) {
 	per := costmodel.DecodeCost(r.decodeW, r.decodeH)
 	r.acct.Add(costmodel.OpDecode, per*(1+0.15*float64(skipped)))
 	f := r.clip.Frame(idx)
+	metFramesDecoded.Inc()
 	r.lastIdx = idx
 	r.haveLast = true
 	r.next += r.gap

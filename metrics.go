@@ -1,0 +1,55 @@
+package otif
+
+import (
+	"io"
+
+	"otif/internal/obs"
+)
+
+// Metrics returns the process-wide observability registry. Every pipeline
+// stage records into it through pre-registered handles: frame, detection,
+// proxy and tracker counters, per-op simulated cost totals, and frame-cache
+// gauges. Recording is lock-free and allocation-free on the per-frame hot
+// path and never changes pipeline results.
+func Metrics() *obs.Registry { return obs.Default }
+
+// MetricsSnapshot is a point-in-time, JSON-serializable copy of every
+// registered counter, cost, gauge and histogram.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// Snapshot captures the current state of the metrics registry. Integer
+// counters and per-op cost totals are deterministic for a given sequence of
+// operations at any worker count; cache gauges depend on worker
+// interleaving and are observational only.
+func Snapshot() MetricsSnapshot { return obs.Default.Snapshot() }
+
+// ResetMetrics zeroes every registered metric while keeping the registered
+// handles valid. Bracketing one extraction between ResetMetrics and
+// Snapshot yields that extraction's exact per-stage cost breakdown: the
+// snapshot's CostTotal() equals the extraction's Runtime bit-for-bit.
+func ResetMetrics() { obs.Default.Reset() }
+
+// SetMetricsEnabled turns metric recording on or off process-wide.
+// Recording is on by default; disabling it turns every record into a single
+// atomic load. Results are bit-identical either way.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// EnableTracing installs a process-wide span tracer capturing up to max
+// spans (a cap <= 0 selects a default) and returns it. Tracing is off by
+// default; when off, span start/end sites read no clocks and do not
+// allocate, keeping deterministic paths clock-free.
+func EnableTracing(max int) *obs.Tracer { return obs.EnableTracing(max) }
+
+// DisableTracing removes the process-wide span tracer.
+func DisableTracing() { obs.SetTracer(nil) }
+
+// WriteTrace writes the recorded spans of the active tracer as JSON; it is
+// a no-op (writing an empty span list) when tracing is disabled.
+func WriteTrace(w io.Writer) error {
+	t := obs.CurrentTracer()
+	if t == nil {
+		empty := obs.NewTracer(0)
+		return empty.WriteJSON(w)
+	}
+	return t.WriteJSON(w)
+}

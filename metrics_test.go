@@ -1,0 +1,148 @@
+package otif_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"otif"
+)
+
+// deterministicParts strips the live gauges from a snapshot. Counters,
+// per-stage costs and histograms are deterministic for a given sequence of
+// operations at any worker count; cache hit/miss gauges depend on worker
+// interleaving (two workers can race to miss the same key) and are
+// excluded from determinism comparisons.
+func deterministicParts(s otif.MetricsSnapshot) otif.MetricsSnapshot {
+	s.Gauges = nil
+	return s
+}
+
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []otif.MetricsSnapshot
+	var runtimes []float64
+	for _, w := range []int{1, 4} {
+		otif.SetParallelism(w)
+		otif.ResetMetrics()
+		ts, err := pipe.Extract(pick.Cfg, otif.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, deterministicParts(otif.Snapshot()))
+		runtimes = append(runtimes, ts.Runtime)
+	}
+	otif.SetParallelism(0)
+
+	if runtimes[0] != runtimes[1] {
+		t.Errorf("runtime differs across worker counts: %v vs %v", runtimes[0], runtimes[1])
+	}
+	if !reflect.DeepEqual(snaps[0], snaps[1]) {
+		t.Errorf("metrics differ across worker counts:\n w=1: %+v\n w=4: %+v", snaps[0], snaps[1])
+	}
+}
+
+func TestMetricsOffIdenticalResults(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	on, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otif.SetMetricsEnabled(false)
+	defer otif.SetMetricsEnabled(true)
+	otif.ResetMetrics()
+	off, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics off must not perturb results: runtime and every extracted
+	// track bit-identical.
+	if on.Runtime != off.Runtime {
+		t.Errorf("runtime with metrics off %v != with metrics on %v", off.Runtime, on.Runtime)
+	}
+	if !reflect.DeepEqual(on.PerClip, off.PerClip) {
+		t.Error("extracted tracks differ with metrics disabled")
+	}
+	// And recording must actually have been off.
+	snap := otif.Snapshot()
+	if n := snap.Counters["run.clips"]; n != 0 {
+		t.Errorf("run.clips = %d while metrics disabled, want 0", n)
+	}
+}
+
+func TestSnapshotCostTotalMatchesRuntime(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bracketing exactly one extraction between ResetMetrics and Snapshot
+	// reproduces its simulated runtime bit-for-bit: per-stage costs are
+	// charged once per RunSet in sorted category order, the same fold the
+	// cost accountant uses.
+	otif.ResetMetrics()
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := otif.Snapshot()
+	if got := snap.CostTotal(); got != ts.Runtime {
+		t.Errorf("CostTotal = %v, Runtime = %v; want bit-identical", got, ts.Runtime)
+	}
+	if n := snap.Counters["run.clips"]; n != 3 {
+		t.Errorf("run.clips = %d, want 3", n)
+	}
+	if f := snap.Counters["run.frames"]; f <= 0 {
+		t.Error("no frames recorded")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otif.ResetMetrics()
+	if _, err := pipe.Extract(pick.Cfg, otif.Test); err != nil {
+		t.Fatal(err)
+	}
+	snap := otif.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back otif.MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Counters, back.Counters) {
+		t.Error("counters did not survive the JSON round trip")
+	}
+	if !reflect.DeepEqual(snap.Costs, back.Costs) {
+		t.Error("costs did not survive the JSON round trip")
+	}
+
+	var text bytes.Buffer
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if text.Len() == 0 {
+		t.Error("empty text export")
+	}
+}

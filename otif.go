@@ -1,10 +1,12 @@
 package otif
 
 import (
+	"context"
 	"fmt"
 
 	"otif/internal/core"
 	"otif/internal/dataset"
+	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/query"
 	"otif/internal/tuner"
@@ -63,22 +65,34 @@ type Point = tuner.Point
 // Pipeline is an OTIF instance bound to one video dataset: it owns the
 // trained models and exposes tuning, extraction and querying.
 type Pipeline struct {
-	sys    *core.System
-	metric core.Metric
-	curve  []Point
+	sys      *core.System
+	metric   core.Metric
+	curve    []Point
+	progress obs.Progress
 }
 
 // Open samples the named dataset (one of Datasets()) and estimates the
-// detector background model. Call Train before Tune or Extract.
+// detector background model. Call Train before Tune or Extract. It is
+// shorthand for OpenWith(name, WithOptions(opts)).
 func Open(name string, opts Options) (*Pipeline, error) {
+	return OpenWith(name, WithOptions(opts))
+}
+
+// OpenWith is Open with functional options: WithSeed, WithClips,
+// WithClipSeconds, WithProgress, or a whole Options struct via WithOptions.
+func OpenWith(name string, options ...Option) (*Pipeline, error) {
+	var c openConfig
+	for _, o := range options {
+		o(&c)
+	}
 	spec := dataset.DefaultSpec
-	if opts.ClipsPerSet > 0 {
-		spec.Clips = opts.ClipsPerSet
+	if c.opts.ClipsPerSet > 0 {
+		spec.Clips = c.opts.ClipsPerSet
 	}
-	if opts.ClipSeconds > 0 {
-		spec.ClipSeconds = opts.ClipSeconds
+	if c.opts.ClipSeconds > 0 {
+		spec.ClipSeconds = c.opts.ClipSeconds
 	}
-	seed := opts.Seed
+	seed := c.opts.Seed
 	if seed == 0 {
 		seed = 7
 	}
@@ -86,9 +100,12 @@ func Open(name string, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys := core.NewSystem(ds)
+	sys.Progress = c.progress
 	return &Pipeline{
-		sys:    core.NewSystem(ds),
-		metric: core.MetricFor(ds),
+		sys:      sys,
+		metric:   core.MetricFor(ds),
+		progress: c.progress,
 	}, nil
 }
 
@@ -106,14 +123,24 @@ func (p *Pipeline) Train() Config {
 }
 
 // Tune runs the greedy joint parameter tuner (§3.5) and returns the
-// speed-accuracy curve, slowest configuration first. Train must have been
-// called.
-func (p *Pipeline) Tune() []Point {
+// speed-accuracy curve, slowest configuration first. It returns
+// ErrNotTrained if Train (or LoadModels) has not run.
+func (p *Pipeline) Tune() ([]Point, error) {
+	return p.TuneContext(context.Background())
+}
+
+// TuneContext is Tune with cooperative cancellation: the tuner checks ctx
+// at iteration boundaries and returns a *PartialError wrapping ctx.Err()
+// together with the curve points completed so far.
+func (p *Pipeline) TuneContext(ctx context.Context) ([]Point, error) {
 	if p.sys.Recurrent == nil {
-		panic("otif: Tune called before Train")
+		return nil, ErrNotTrained
 	}
-	p.curve = tuner.Tune(p.sys, p.metric, tuner.DefaultOptions())
-	return p.curve
+	opts := tuner.DefaultOptions()
+	opts.Progress = p.progress
+	curve, err := tuner.TuneContext(ctx, p.sys, p.metric, opts)
+	p.curve = curve
+	return curve, err
 }
 
 // Curve returns the most recent tuning curve (nil before Tune).
@@ -121,23 +148,35 @@ func (p *Pipeline) Curve() []Point { return p.curve }
 
 // PickFastestWithin returns the fastest point of the curve whose accuracy
 // is within tol of the best accuracy on the curve (the paper's Table 2
-// selection rule with tol = 0.05).
-func PickFastestWithin(curve []Point, tol float64) Point {
+// selection rule with tol = 0.05). It returns ErrEmptyCurve when the curve
+// has no points.
+func PickFastestWithin(curve []Point, tol float64) (Point, error) {
 	p, ok := tuner.FastestWithin(curve, tol)
 	if !ok {
-		panic("otif: empty curve")
+		return Point{}, ErrEmptyCurve
 	}
-	return p
+	return p, nil
 }
 
 // Extract runs the pipeline under cfg over the chosen clip set and returns
 // the extracted tracks together with the simulated execution cost.
 func (p *Pipeline) Extract(cfg Config, set SetName) (*TrackSet, error) {
+	return p.ExtractContext(context.Background(), cfg, set)
+}
+
+// ExtractContext is Extract with cooperative cancellation: clip workers
+// check ctx before starting each clip and the pool drains cleanly. A
+// canceled extraction returns a *PartialError wrapping ctx.Err() that
+// reports how many clips completed.
+func (p *Pipeline) ExtractContext(ctx context.Context, cfg Config, set SetName) (*TrackSet, error) {
 	clips, err := p.clips(set)
 	if err != nil {
 		return nil, err
 	}
-	res := p.sys.RunSet(cfg, clips)
+	res, err := p.sys.RunSetContext(ctx, cfg, clips)
+	if err != nil {
+		return nil, err
+	}
 	return &TrackSet{
 		PerClip: res.PerClip,
 		Runtime: res.Runtime,

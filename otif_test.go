@@ -1,6 +1,7 @@
 package otif_test
 
 import (
+	"errors"
 	"testing"
 
 	"otif"
@@ -22,7 +23,10 @@ func pipeline(t *testing.T) (*otif.Pipeline, []otif.Point) {
 	}
 	pipe.Train()
 	trainedPipe = pipe
-	trainedCurve = pipe.Tune()
+	trainedCurve, err = pipe.Tune()
+	if err != nil {
+		t.Fatal(err)
+	}
 	return trainedPipe, trainedCurve
 }
 
@@ -44,7 +48,10 @@ func TestEndToEndWorkflow(t *testing.T) {
 		t.Fatalf("curve has %d points", len(curve))
 	}
 	// Workflow of Figure 1: pick a point, extract over the dataset.
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts, err := pipe.Extract(pick.Cfg, otif.Test)
 	if err != nil {
 		t.Fatal(err)
@@ -82,17 +89,20 @@ func TestEndToEndWorkflow(t *testing.T) {
 	}
 }
 
-func TestTuneBeforeTrainPanics(t *testing.T) {
+func TestTuneBeforeTrainErrors(t *testing.T) {
 	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Tune before Train should panic")
-		}
-	}()
-	pipe.Tune()
+	if _, err := pipe.Tune(); !errors.Is(err, otif.ErrNotTrained) {
+		t.Errorf("Tune before Train: err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestPickFastestWithinEmptyCurve(t *testing.T) {
+	if _, err := otif.PickFastestWithin(nil, 0.05); !errors.Is(err, otif.ErrEmptyCurve) {
+		t.Errorf("empty curve: err = %v, want ErrEmptyCurve", err)
+	}
 }
 
 func TestCurveAccessor(t *testing.T) {
@@ -115,7 +125,10 @@ func TestSpeedupAtMatchedAccuracy(t *testing.T) {
 	// configuration within 5% of the best accuracy is several times
 	// faster than the slowest.
 	_, curve := pipeline(t)
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	slowest := curve[0]
 	if pick.Runtime > slowest.Runtime/2 {
 		t.Errorf("tuned speedup only %.1fx", slowest.Runtime/pick.Runtime)

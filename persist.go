@@ -9,11 +9,11 @@ import (
 
 // SaveModels writes the pipeline's trained model bundle (theta_best,
 // background model, proxy models, window sizes, tracking models,
-// refinement clusters) in OTIF's versioned, checksummed binary format.
-// Train must have been called.
+// refinement clusters) in OTIF's versioned, checksummed binary format. It
+// returns ErrNotTrained if Train (or LoadModels) has not run.
 func (p *Pipeline) SaveModels(w io.Writer) error {
 	if p.sys.Recurrent == nil {
-		panic("otif: SaveModels called before Train")
+		return ErrNotTrained
 	}
 	return persist.SaveModels(w, p.sys)
 }

@@ -2,6 +2,7 @@ package otif_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"otif"
@@ -9,7 +10,10 @@ import (
 
 func TestPipelinePersistenceRoundtrip(t *testing.T) {
 	pipe, curve := pipeline(t)
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var bundle bytes.Buffer
 	if err := pipe.SaveModels(&bundle); err != nil {
@@ -63,7 +67,10 @@ func TestLoadModelsWrongDataset(t *testing.T) {
 
 func TestTrackSetPersistence(t *testing.T) {
 	pipe, curve := pipeline(t)
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts, err := pipe.Extract(pick.Cfg, otif.Test)
 	if err != nil {
 		t.Fatal(err)
@@ -99,23 +106,26 @@ func TestTrackSetPersistence(t *testing.T) {
 	}
 }
 
-func TestSaveModelsBeforeTrainPanics(t *testing.T) {
+func TestSaveModelsBeforeTrainErrors(t *testing.T) {
 	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("SaveModels before Train should panic")
-		}
-	}()
 	var buf bytes.Buffer
-	_ = pipe.SaveModels(&buf)
+	if err := pipe.SaveModels(&buf); !errors.Is(err, otif.ErrNotTrained) {
+		t.Errorf("SaveModels before Train: err = %v, want ErrNotTrained", err)
+	}
+	if buf.Len() != 0 {
+		t.Error("SaveModels wrote bytes before failing")
+	}
 }
 
 func TestAnalyticsQueries(t *testing.T) {
 	pipe, curve := pipeline(t)
-	pick := otif.PickFastestWithin(curve, 0.05)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts, err := pipe.Extract(pick.Cfg, otif.Test)
 	if err != nil {
 		t.Fatal(err)
