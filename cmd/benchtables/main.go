@@ -41,6 +41,7 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		perfOut  = flag.String("perf", "", "write the kernel/extraction performance report (JSON) to this file and exit")
 		metricsF = flag.Bool("metrics", false, "print the per-stage cost breakdown of one test-set extraction (next to BENCH JSON) and exit")
+		metricsO = flag.String("metrics-out", "", "write the per-stage cost breakdown as JSON to this file and exit (combines with -metrics)")
 		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file on exit")
 	)
 	flag.Parse()
@@ -70,14 +71,30 @@ func main() {
 		names = strings.Split(*datasets, ",")
 	}
 
-	if *metricsF {
+	if *metricsF || *metricsO != "" {
 		ds := "caldot1"
 		if len(names) > 0 {
 			ds = names[0]
 		}
-		if err := suite.Metrics(os.Stdout, ds); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtables:", err)
-			os.Exit(1)
+		if *metricsF {
+			if err := suite.Metrics(os.Stdout, ds); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsO != "" {
+			f, err := os.Create(*metricsO)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			if err := suite.WriteMetricsJSON(f, ds); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("wrote metrics report to", *metricsO)
 		}
 		return
 	}

@@ -1,0 +1,244 @@
+// Command otifd serves the OTIF pipeline as a long-running daemon: it
+// trains and tunes one dataset in the background, then exposes the
+// standard operational surface over HTTP —
+//
+//	GET  /metrics               Prometheus text exposition of the registry
+//	GET  /healthz               liveness
+//	GET  /readyz                readiness (503 until train+tune finish)
+//	GET  /jobs                  job records (JSON)
+//	POST /jobs                  submit {"kind":"tune"|"extract","params":{...}}
+//	GET  /jobs/{id}             one job record
+//	GET  /jobs/{id}/events      live job progress (SSE)
+//	POST /jobs/{id}/cancel      cooperative cancellation
+//	GET  /debug/vars            expvar
+//	     /debug/pprof/*         CPU/heap/goroutine profiling
+//
+//	otifd -dataset caldot1                        # default address :8080
+//	otifd -addr 127.0.0.1:0 -clips 2 -seconds 2   # tiny instance, random port
+//	otifd -log json -log-level debug              # structured logs on stderr
+//
+// Scraping, streaming and logging never change pipeline results:
+// extraction runtimes and tuning curves are bit-identical with the
+// daemon's surface active or idle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"otif"
+	"otif/internal/obs"
+	"otif/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		name     = flag.String("dataset", "caldot1", "dataset name")
+		clips    = flag.Int("clips", 0, "clips per set (0 = default)")
+		seconds  = flag.Float64("seconds", 0, "seconds per clip (0 = default)")
+		seed     = flag.Int64("seed", 7, "sampling seed")
+		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
+		logMode  = flag.String("log", "text", "structured log format: off, text, json")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		ringCap  = flag.Int("events", 256, "buffered progress events retained per job")
+	)
+	flag.Parse()
+	otif.SetParallelism(*nwork)
+	otif.SetCacheMB(*cacheMB)
+	logger, err := buildLogger(*logMode, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otifd:", err)
+		os.Exit(2)
+	}
+	otif.SetLogger(logger)
+	logf := logger
+	if logf == nil {
+		logf = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	d := &daemon{}
+	mgr := serve.NewManager(*ringCap)
+	mgr.Register("tune", d.runTune)
+	mgr.Register("extract", d.runExtract)
+	srv := &serve.Server{Manager: mgr, Ready: d.ready.Load}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otifd:", err)
+		os.Exit(1)
+	}
+	// The parse-friendly line smoke tests and scripts key on; the chosen
+	// port matters when -addr ends in :0.
+	fmt.Printf("otifd: listening on http://%s\n", ln.Addr())
+	logf.Info("otifd: serving", "addr", ln.Addr().String(), "dataset", *name)
+
+	// Train and tune in the background; /healthz answers immediately,
+	// /readyz flips once the pipeline can take jobs.
+	go func() {
+		start := time.Now()
+		pipe, err := otif.OpenWith(*name,
+			otif.WithSeed(*seed), otif.WithClips(*clips), otif.WithClipSeconds(*seconds),
+			otif.WithProgress(d.relayProgress))
+		if err == nil {
+			pipe.Train()
+			d.mu.Lock()
+			d.pipe = pipe
+			d.curve, err = pipe.Tune()
+			d.mu.Unlock()
+		}
+		if err != nil {
+			logf.Error("otifd: startup failed", "error", err)
+			fmt.Fprintln(os.Stderr, "otifd:", err)
+			os.Exit(1)
+		}
+		d.ready.Store(true)
+		logf.Info("otifd: ready", "dataset", *name, "startup", time.Since(start).Round(time.Millisecond).String())
+	}()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "otifd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logf.Info("otifd: shutting down")
+		mgr.Close() // cancel running jobs, wait for their goroutines
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			httpSrv.Close()
+		}
+	}
+}
+
+// daemon owns the pipeline behind the job runners. mu serializes
+// pipeline operations (tune and extract share trained state); relay
+// routes the pipeline's progress events to whichever job is running.
+type daemon struct {
+	mu    sync.Mutex
+	pipe  *otif.Pipeline
+	curve []otif.Point
+
+	relay atomic.Pointer[obs.Progress]
+	ready atomic.Bool
+}
+
+func (d *daemon) relayProgress(e obs.Event) {
+	if p := d.relay.Load(); p != nil {
+		(*p)(e)
+	}
+}
+
+// acquire locks the pipeline for one job and routes progress to it.
+func (d *daemon) acquire(progress obs.Progress) (release func(), err error) {
+	if !d.ready.Load() {
+		return nil, errors.New("otifd: pipeline not ready (training or tuning still running)")
+	}
+	d.mu.Lock()
+	d.relay.Store(&progress)
+	return func() {
+		d.relay.Store(nil)
+		d.mu.Unlock()
+	}, nil
+}
+
+// runTune re-runs the greedy joint tuner and replaces the daemon's
+// speed-accuracy curve.
+func (d *daemon) runTune(ctx context.Context, job *serve.Job, progress obs.Progress) (any, error) {
+	release, err := d.acquire(progress)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	curve, err := d.pipe.TuneContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	d.curve = curve
+	return map[string]any{"points": len(curve)}, nil
+}
+
+// runExtract extracts one clip set under the configuration picked from
+// the current curve. Params: "set" (train|val|test, default test) and
+// "tolerance" (accuracy tolerance for the pick, default 0.05).
+func (d *daemon) runExtract(ctx context.Context, job *serve.Job, progress obs.Progress) (any, error) {
+	v := job.View()
+	set := otif.SetName(v.Params["set"])
+	if set == "" {
+		set = otif.Test
+	}
+	tol := 0.05
+	if s := v.Params["tolerance"]; s != "" {
+		var err error
+		if tol, err = strconv.ParseFloat(s, 64); err != nil {
+			return nil, fmt.Errorf("otifd: bad tolerance %q: %w", s, err)
+		}
+	}
+	release, err := d.acquire(progress)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	pick, err := otif.PickFastestWithin(d.curve, tol)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := d.pipe.ExtractContext(ctx, pick.Cfg, set)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := d.pipe.Accuracy(ts, set)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"set":      string(set),
+		"config":   fmt.Sprintf("%v", pick.Cfg),
+		"clips":    len(ts.PerClip),
+		"runtime":  ts.Runtime,
+		"accuracy": acc,
+	}, nil
+}
+
+// buildLogger constructs the slog logger selected by -log/-log-level;
+// "off" returns nil (logging disabled process-wide).
+func buildLogger(mode, level string) (*slog.Logger, error) {
+	if mode == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log %q (want off, text or json)", mode)
+	}
+}

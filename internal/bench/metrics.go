@@ -36,18 +36,19 @@ type MetricsReport struct {
 	Cache     PerfCacheStats     `json:"cache"`
 }
 
-// Metrics trains the dataset (memoized), extracts the test set under the
-// fastest-within-5% configuration with the metrics registry bracketing
-// exactly that run, and writes the per-stage cost breakdown as text plus a
-// BENCH-style JSON record.
-func (s *Suite) Metrics(w io.Writer, name string) error {
+// MetricsReportFor trains the dataset (memoized), extracts the test set
+// under the fastest-within-5% configuration with the metrics registry
+// bracketing exactly that run, and returns the per-stage report. The
+// report's Exact flag asserts Runtime == CostTotal bit-for-bit; callers
+// surface a mismatch as an error.
+func (s *Suite) MetricsReportFor(name string) (*MetricsReport, error) {
 	t, err := s.System(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pick, ok := tuner.FastestWithin(t.Curve, 0.05)
 	if !ok {
-		return fmt.Errorf("bench: empty tuning curve for %s", name)
+		return nil, fmt.Errorf("bench: empty tuning curve for %s", name)
 	}
 
 	// Bracket one RunSet between Reset and Snapshot: the snapshot then
@@ -57,36 +58,14 @@ func (s *Suite) Metrics(w io.Writer, name string) error {
 	snap := obs.Default.Snapshot()
 
 	total := snap.CostTotal()
-	exact := total == res.Runtime
 	cs := video.GlobalCacheStats()
-
-	fprintf(w, "per-stage cost breakdown: %s, %d test clips, cfg %v\n",
-		name, len(t.Sys.DS.Test), pick.Cfg)
-	keys := make([]string, 0, len(snap.Costs))
-	for k := range snap.Costs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		v := snap.Costs[k]
-		fprintf(w, "  %-24s %12.4fs  %5.1f%%\n", k, v, 100*v/total)
-	}
-	fprintf(w, "  %-24s %12.4fs\n", "total", total)
-	fprintf(w, "  runtime %.6fs, breakdown sum %.6fs, exact match: %v\n",
-		res.Runtime, total, exact)
-	fprintf(w, "  cache: %d hits, %d misses, hit rate %.3f\n",
-		cs.Hits, cs.Misses, cs.HitRate())
-	if !exact {
-		return fmt.Errorf("bench: breakdown sum %v != runtime %v", total, res.Runtime)
-	}
-
-	rep := MetricsReport{
+	return &MetricsReport{
 		Dataset:   name,
 		Clips:     len(t.Sys.DS.Test),
 		Config:    fmt.Sprintf("%v", pick.Cfg),
 		Runtime:   res.Runtime,
 		CostTotal: total,
-		Exact:     exact,
+		Exact:     total == res.Runtime,
 		Stages:    snap.Costs,
 		Counters:  snap.Counters,
 		Cache: PerfCacheStats{
@@ -95,10 +74,58 @@ func (s *Suite) Metrics(w io.Writer, name string) error {
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
 		},
+	}, nil
+}
+
+// WriteMetricsJSON writes the dataset's metrics report as indented JSON
+// (the `benchtables -metrics-out` payload). JSON float64 round-trips
+// exactly, so the decoded file's stage sum still equals the BENCH
+// Runtime bit-for-bit (asserted in TestMetricsOutStageSumMatchesRuntime).
+func (s *Suite) WriteMetricsJSON(w io.Writer, name string) error {
+	rep, err := s.MetricsReportFor(name)
+	if err != nil {
+		return err
+	}
+	if !rep.Exact {
+		return fmt.Errorf("bench: breakdown sum %v != runtime %v", rep.CostTotal, rep.Runtime)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("bench: writing metrics report: %w", err)
+	}
+	return nil
+}
+
+// Metrics writes the per-stage cost breakdown as text plus a BENCH-style
+// JSON record (`benchtables -metrics`).
+func (s *Suite) Metrics(w io.Writer, name string) error {
+	rep, err := s.MetricsReportFor(name)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "per-stage cost breakdown: %s, %d test clips, cfg %s\n",
+		rep.Dataset, rep.Clips, rep.Config)
+	keys := make([]string, 0, len(rep.Stages))
+	for k := range rep.Stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := rep.Stages[k]
+		fprintf(w, "  %-24s %12.4fs  %5.1f%%\n", k, v, 100*v/rep.CostTotal)
+	}
+	fprintf(w, "  %-24s %12.4fs\n", "total", rep.CostTotal)
+	fprintf(w, "  runtime %.6fs, breakdown sum %.6fs, exact match: %v\n",
+		rep.Runtime, rep.CostTotal, rep.Exact)
+	fprintf(w, "  cache: %d hits, %d misses, hit rate %.3f\n",
+		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.HitRate)
+	if !rep.Exact {
+		return fmt.Errorf("bench: breakdown sum %v != runtime %v", rep.CostTotal, rep.Runtime)
 	}
 	fprintf(w, "BENCH ")
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(&rep); err != nil {
+	if err := enc.Encode(rep); err != nil {
 		return fmt.Errorf("bench: writing metrics report: %w", err)
 	}
 	return nil

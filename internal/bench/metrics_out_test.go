@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"otif/internal/dataset"
+)
+
+// TestMetricsOutStageSumMatchesRuntime exercises the `benchtables
+// -metrics-out` path end to end: write the report to a file, decode it
+// back, and require the decoded per-stage costs — summed in sorted key
+// order, the accountant's fold order — to equal the decoded Runtime
+// bit-for-bit. encoding/json emits the shortest float64 form that
+// round-trips, so the file carries the exact bits.
+func TestMetricsOutStageSumMatchesRuntime(t *testing.T) {
+	s := NewSuite(dataset.SetSpec{Clips: 2, ClipSeconds: 4}, 7)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteMetricsJSON(f, "caldot1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MetricsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	if !rep.Exact {
+		t.Error("report not marked exact")
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("report has no stages")
+	}
+	keys := make([]string, 0, len(rep.Stages))
+	for k := range rep.Stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += rep.Stages[k]
+	}
+	if sum != rep.Runtime {
+		t.Errorf("file stage sum %v != runtime %v (diff %g)", sum, rep.Runtime, sum-rep.Runtime)
+	}
+	if rep.CostTotal != rep.Runtime {
+		t.Errorf("file cost_total %v != runtime %v", rep.CostTotal, rep.Runtime)
+	}
+}

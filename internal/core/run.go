@@ -332,6 +332,13 @@ func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset
 	out.Runtime = acct.Total()
 	out.Breakdown = acct.Breakdown()
 	recordCosts(out.Breakdown)
+	// Boundary-level structured logging: one line per RunSet, only when a
+	// logger is installed (the nil default keeps deterministic benchmarks
+	// and the hot path quiet and allocation-free).
+	if l := obs.Log(); l != nil {
+		l.Info("otif: run set finished",
+			"clips", done, "total", len(clips), "runtime", out.Runtime, "canceled", err != nil)
+	}
 	if err != nil {
 		return out, &PartialError{Stage: "extract", Done: done, Total: len(clips), Err: err}
 	}

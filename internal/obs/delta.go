@@ -1,0 +1,134 @@
+package obs
+
+import "math"
+
+// Delta and quantile helpers over snapshots. A scraper that polls
+// Registry.Snapshot can turn two absolute snapshots into a per-interval
+// rate view with Delta, and summarize a histogram with Quantile; neither
+// touches the live registry.
+
+// Delta returns the change from prev to s: counters, costs and histogram
+// contents are subtracted pairwise, gauges keep their current
+// (instantaneous) value. A counter whose previous value exceeds its
+// current one was reset between the snapshots; its delta is the current
+// value, the standard rate-after-reset convention. Histograms whose
+// bucket bounds changed between snapshots (re-registration) are likewise
+// taken at their current value. Metrics present only in prev are
+// dropped; metrics present only in s appear with their full value.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Costs:      make(map[string]float64, len(s.Costs)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		if p, ok := prev.Counters[k]; ok && p <= v {
+			v -= p
+		}
+		out.Counters[k] = v
+	}
+	for k, v := range s.Costs {
+		if p, ok := prev.Costs[k]; ok && p <= v {
+			v -= p
+		}
+		out.Costs[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[k] = h.delta(prev.Histograms[k])
+	}
+	return out
+}
+
+// delta subtracts prev from h bucket-wise, falling back to h unchanged
+// when the bucket layouts differ or any count went backwards (a reset).
+func (h HistogramSnapshot) delta(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Bounds) != len(h.Bounds) || len(prev.Counts) != len(h.Counts) {
+		return h.clone()
+	}
+	for i, b := range h.Bounds {
+		if prev.Bounds[i] != b {
+			return h.clone()
+		}
+	}
+	if prev.Count > h.Count {
+		return h.clone()
+	}
+	out := h.clone()
+	for i := range out.Counts {
+		if prev.Counts[i] > out.Counts[i] {
+			return h.clone()
+		}
+		out.Counts[i] -= prev.Counts[i]
+	}
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	return out
+}
+
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+		Count:  h.Count,
+		Sum:    h.Sum,
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations by
+// linear interpolation inside the bucket holding the target rank,
+// assuming the first bucket spans [0, bounds[0]]. Observations that
+// landed in the overflow bucket are reported as the largest bound (the
+// estimate cannot exceed what the layout resolves). It returns NaN for q
+// outside [0, 1], an empty histogram, or a histogram registered with no
+// bounds.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || h.Count == 0 || len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: the true value is above every bound.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the live histogram's current
+// contents; see HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	hs := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs.Quantile(q)
+}

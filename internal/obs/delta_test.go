@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("run.clips")
+	f := r.Cost("cost.decode")
+	g := r.Gauge("cache.bytes")
+	h := r.Histogram("run.tracks_per_clip", 1, 10)
+
+	c.Add(3)
+	f.Add(1.5)
+	g.Set(100)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+
+	c.Add(4)
+	f.Add(2.5)
+	g.Set(250)
+	h.Observe(5)
+	h.Observe(50)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if got := d.Counters["run.clips"]; got != 4 {
+		t.Errorf("counter delta = %d, want 4", got)
+	}
+	if got := d.Costs["cost.decode"]; got != 2.5 {
+		t.Errorf("cost delta = %v, want 2.5", got)
+	}
+	if got := d.Gauges["cache.bytes"]; got != 250 {
+		t.Errorf("gauge in delta = %v, want current value 250", got)
+	}
+	hd := d.Histograms["run.tracks_per_clip"]
+	if hd.Count != 2 || hd.Sum != 55 {
+		t.Errorf("histogram delta count=%d sum=%v, want 2 and 55", hd.Count, hd.Sum)
+	}
+	wantCounts := []int64{0, 1, 1}
+	for i, w := range wantCounts {
+		if hd.Counts[i] != w {
+			t.Errorf("histogram delta counts = %v, want %v", hd.Counts, wantCounts)
+			break
+		}
+	}
+	// The delta must be a copy: mutating it cannot touch the source.
+	hd.Counts[0] = 99
+	if cur.Histograms["run.tracks_per_clip"].Counts[0] == 99 {
+		t.Error("histogram delta aliases the current snapshot's counts")
+	}
+}
+
+func TestSnapshotDeltaEmptyPrev(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Histogram("h", 1).Observe(0.5)
+	cur := r.Snapshot()
+	d := cur.Delta(MetricsSnapshot{})
+	if d.Counters["a"] != 7 {
+		t.Errorf("delta against empty prev = %d, want full value 7", d.Counters["a"])
+	}
+	if d.Histograms["h"].Count != 1 {
+		t.Errorf("histogram delta against empty prev count = %d, want 1", d.Histograms["h"].Count)
+	}
+	// Both snapshots empty: the delta is empty, not a panic.
+	e := MetricsSnapshot{}.Delta(MetricsSnapshot{})
+	if len(e.Counters)+len(e.Costs)+len(e.Gauges)+len(e.Histograms) != 0 {
+		t.Errorf("empty-empty delta is non-empty: %+v", e)
+	}
+}
+
+func TestSnapshotDeltaCounterReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	f := r.Cost("b")
+	h := r.Histogram("h", 1)
+	c.Add(10)
+	f.Add(10)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+	r.Reset()
+	c.Add(3)
+	f.Add(1.25)
+	h.Observe(0.5)
+	cur := r.Snapshot()
+	d := cur.Delta(prev)
+	if d.Counters["a"] != 3 {
+		t.Errorf("post-reset counter delta = %d, want current value 3", d.Counters["a"])
+	}
+	if d.Costs["b"] != 1.25 {
+		t.Errorf("post-reset cost delta = %v, want current value 1.25", d.Costs["b"])
+	}
+	if got := d.Histograms["h"]; got.Count != 1 || got.Counts[0] != 1 {
+		t.Errorf("post-reset histogram delta = %+v, want current contents", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2, 4)
+	// 4 observations in (0,1], 4 in (1,2], 2 in (2,4].
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	h.Observe(3)
+	h.Observe(3)
+
+	if got := h.Quantile(0.4); got != 1 {
+		t.Errorf("q0.4 = %v, want 1 (end of first bucket)", got)
+	}
+	if got := h.Quantile(0.8); got != 2 {
+		t.Errorf("q0.8 = %v, want 2 (end of second bucket)", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("q0.5 = %v, want 1.25 (interpolated into (1,2])", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("q1 = %v, want 4", got)
+	}
+	if got := h.Quantile(0); got != 0.25 {
+		t.Errorf("q0 = %v, want 0.25 (rank clamps to the first observation)", got)
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2)
+	h.Observe(100) // lands beyond every bound
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %v, want the largest bound 2", got)
+	}
+}
+
+func TestHistogramQuantileOutOfRangeAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) on empty = %v, want NaN", q, got)
+		}
+	}
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty histogram = %v, want NaN", got)
+	}
+	h.Observe(1.5)
+	for _, q := range []float64{-0.01, 1.01} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN for out-of-range q", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil histogram Quantile = %v, want NaN", got)
+	}
+	// A histogram registered with no bounds has only the overflow slot.
+	nb := r.Histogram("nobounds")
+	nb.Observe(3)
+	if got := nb.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("no-bounds Quantile = %v, want NaN", got)
+	}
+}

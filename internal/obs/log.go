@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// Structured logging hook. The pipeline logs only at coarse boundaries
+// (a RunSet finishing, a tuner iteration choosing a candidate, a job
+// changing state) — never per frame — and only when a logger has been
+// installed. The default is no logger at all: call sites guard with
+// `if l := obs.Log(); l != nil`, so the disabled path is a single atomic
+// load with zero allocation and deterministic benchmarks stay quiet.
+
+var globalLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs (or with nil, removes) the process-wide structured
+// logger used by pipeline boundary events.
+func SetLogger(l *slog.Logger) { globalLogger.Store(l) }
+
+// Log returns the installed logger, or nil when logging is disabled.
+// Callers must nil-check; the nil default keeps logging strictly opt-in.
+func Log() *slog.Logger { return globalLogger.Load() }

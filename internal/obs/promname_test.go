@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"run.clips", "run_clips"},
+		{"cost.decode", "cost_decode"},
+		{"cache.hit_rate", "cache_hit_rate"},
+		{"a/b-c d", "a_b_c_d"},
+		{"already_valid:name", "already_valid:name"},
+		{"9lead", "_9lead"},
+		{"", "_"},
+		{"UPPER.Case", "UPPER_Case"},
+	}
+	for _, c := range cases {
+		got := PromName(c.in)
+		if got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !ValidPromName(got) {
+			t.Errorf("PromName(%q) = %q is not a valid Prometheus name", c.in, got)
+		}
+	}
+}
+
+func TestValidPromName(t *testing.T) {
+	valid := []string{"a", "_", ":", "a9", "otif_run_clips_total", "A:b_c9"}
+	invalid := []string{"", "9a", "a.b", "a-b", "a b", "a/b", "é"}
+	for _, n := range valid {
+		if !ValidPromName(n) {
+			t.Errorf("ValidPromName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range invalid {
+		if ValidPromName(n) {
+			t.Errorf("ValidPromName(%q) = true, want false", n)
+		}
+	}
+}
+
+// PromName must be idempotent: exporting an already-normalized name
+// (e.g. a name round-tripped through a scrape) cannot change it.
+func TestPromNameIdempotent(t *testing.T) {
+	for _, n := range []string{"run.clips", "cost.decode", "9x", "a/b", ""} {
+		once := PromName(n)
+		if twice := PromName(once); twice != once {
+			t.Errorf("PromName not idempotent on %q: %q then %q", n, once, twice)
+		}
+	}
+}

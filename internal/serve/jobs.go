@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"otif/internal/core"
+	"otif/internal/obs"
+)
+
+// The job manager runs long pipeline operations (tune, extract) in the
+// background on behalf of HTTP clients. Each job owns a bounded ring
+// buffer of structured events — its state transitions plus every
+// obs.Progress event the operation emits — that late subscribers replay
+// and live subscribers stream over SSE. Cancellation goes through the
+// job's context, so it lands exactly where the pipeline's cooperative
+// cancellation does: clip boundaries for extraction, iteration
+// boundaries for tuning, with a *core.PartialError recording how far the
+// work got.
+
+// JobState is one node of the job lifecycle state machine:
+//
+//	pending → running → done
+//	                  ↘ failed
+//	                  ↘ canceled
+type JobState string
+
+// The job states. Done, Failed and Canceled are terminal.
+const (
+	JobPending  JobState = "pending"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobEvent is one entry of a job's event stream: either a lifecycle
+// transition (Kind "state") or a pipeline progress event (Kind is the
+// obs event kind: "tune.iter", "tune.candidate", "clip", "cache"). Seq
+// numbers are per-job, contiguous from 1; a gap at an SSE client means
+// the bounded ring evicted events faster than the client read them.
+type JobEvent struct {
+	Seq   int64    `json:"seq"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state,omitempty"`
+
+	Iteration    int     `json:"iteration,omitempty"`
+	Index        int     `json:"index,omitempty"`
+	Total        int     `json:"total,omitempty"`
+	Config       string  `json:"config,omitempty"`
+	Runtime      float64 `json:"runtime,omitempty"`
+	Accuracy     float64 `json:"accuracy,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// PartialInfo mirrors core.PartialError for job records: how many units
+// (clips or iterations) a canceled or failed operation completed.
+type PartialInfo struct {
+	Stage string `json:"stage"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// JobView is the JSON-serializable snapshot of a job returned by the
+// /jobs endpoints.
+type JobView struct {
+	ID       string            `json:"id"`
+	Kind     string            `json:"kind"`
+	Params   map[string]string `json:"params,omitempty"`
+	State    JobState          `json:"state"`
+	Created  time.Time         `json:"created"`
+	Started  *time.Time        `json:"started,omitempty"`
+	Finished *time.Time        `json:"finished,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Partial  *PartialInfo      `json:"partial,omitempty"`
+	Result   any               `json:"result,omitempty"`
+	// Events counts all events ever emitted; Dropped counts those the
+	// bounded ring has already evicted.
+	Events  int64 `json:"events"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Job is one background operation. All fields are guarded by mu; HTTP
+// handlers read through View and Subscribe.
+type Job struct {
+	id     string
+	kind   string
+	params map[string]string
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	partial  *PartialInfo
+	result   any
+
+	cancel    context.CancelFunc
+	cancelled bool // cancel was requested by a client
+
+	ring    []JobEvent // bounded backlog, oldest first
+	ringCap int
+	seq     int64
+	dropped int64
+	subs    map[chan JobEvent]struct{}
+	done    chan struct{} // closed on entering a terminal state
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// View snapshots the job for JSON serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.id,
+		Kind:    j.kind,
+		Params:  j.params,
+		State:   j.state,
+		Created: j.created,
+		Error:   j.errMsg,
+		Result:  j.result,
+		Events:  j.seq,
+		Dropped: j.dropped,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.partial != nil {
+		p := *j.partial
+		v.Partial = &p
+	}
+	return v
+}
+
+// publish appends one event to the ring (evicting the oldest beyond
+// capacity) and fans it out to subscribers. Slow subscribers never block
+// a publish: a full subscriber channel drops the event for that client,
+// who sees the gap in Seq and can re-read the backlog.
+func (j *Job) publish(e JobEvent) {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if len(j.ring) >= j.ringCap {
+		n := copy(j.ring, j.ring[1:])
+		j.ring = j.ring[:n]
+		j.dropped++
+	}
+	j.ring = append(j.ring, e)
+	for ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Subscribe returns a copy of the buffered backlog plus a channel
+// receiving subsequent events. Call the returned cancel function to
+// unsubscribe.
+func (j *Job) Subscribe() (backlog []JobEvent, ch <-chan JobEvent, cancel func()) {
+	c := make(chan JobEvent, j.ringCap)
+	j.mu.Lock()
+	backlog = append([]JobEvent(nil), j.ring...)
+	j.subs[c] = struct{}{}
+	j.mu.Unlock()
+	return backlog, c, func() {
+		j.mu.Lock()
+		delete(j.subs, c)
+		j.mu.Unlock()
+	}
+}
+
+// transition moves the job to state, stamps timestamps, publishes the
+// "state" event and logs it. errMsg rides along for failure states.
+func (j *Job) transition(state JobState, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	now := time.Now()
+	switch state {
+	case JobRunning:
+		j.started = now
+	case JobDone, JobFailed, JobCanceled:
+		j.finished = now
+		j.errMsg = errMsg
+	}
+	terminal := state.Terminal()
+	j.mu.Unlock()
+	j.publish(JobEvent{Kind: "state", State: state, Error: errMsg})
+	if l := obs.Log(); l != nil {
+		l.Info("otifd: job state", "job", j.id, "kind", j.kind, "state", string(state), "error", errMsg)
+	}
+	if terminal {
+		close(j.done)
+	}
+}
+
+// progress adapts obs.Progress events into the job's event stream. It is
+// installed for the duration of the job's pipeline operation; events
+// arrive concurrently from clip workers, and publish serializes them.
+func (j *Job) progress(e obs.Event) {
+	j.publish(JobEvent{
+		Kind:         string(e.Kind),
+		Iteration:    e.Iteration,
+		Index:        e.Index,
+		Total:        e.Total,
+		Config:       e.Config,
+		Runtime:      e.Runtime,
+		Accuracy:     e.Accuracy,
+		CacheHitRate: e.CacheHitRate,
+	})
+}
+
+// Runner executes one job kind. It receives a context canceled by
+// POST /jobs/{id}/cancel (and by manager shutdown), and a progress
+// callback already wired into the job's event stream; the returned value
+// becomes the job record's result field. Returning an error wrapping
+// context.Canceled after a cancel request yields state "canceled";
+// any other error yields "failed". A *core.PartialError in the chain is
+// surfaced as the job's partial record either way.
+type Runner func(ctx context.Context, job *Job, progress obs.Progress) (any, error)
+
+// Manager owns job submission, lookup and cancellation.
+type Manager struct {
+	ctx     context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	ringCap int
+
+	mu      sync.Mutex
+	runners map[string]Runner
+	jobs    map[string]*Job
+	order   []string
+	next    int64
+}
+
+// NewManager returns a manager whose jobs buffer up to ringCap events
+// each (non-positive selects 256).
+func NewManager(ringCap int) *Manager {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	return &Manager{
+		ctx:     ctx,
+		stop:    stop,
+		ringCap: ringCap,
+		runners: map[string]Runner{},
+		jobs:    map[string]*Job{},
+	}
+}
+
+// Register installs the runner for a job kind (e.g. "tune", "extract").
+func (m *Manager) Register(kind string, r Runner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runners[kind] = r
+}
+
+// Kinds lists the registered job kinds, sorted.
+func (m *Manager) Kinds() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.runners))
+	for k := range m.runners {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Submit creates a job of the given kind and starts it on its own
+// goroutine. It returns an error for unregistered kinds and after Close.
+func (m *Manager) Submit(kind string, params map[string]string) (*Job, error) {
+	m.mu.Lock()
+	r, ok := m.runners[kind]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown job kind %q", kind)
+	}
+	if m.ctx.Err() != nil {
+		m.mu.Unlock()
+		return nil, errors.New("serve: manager closed")
+	}
+	m.next++
+	// The job's context exists before its goroutine starts, so a cancel
+	// request arriving while the job is still pending is never lost.
+	ctx, cancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", m.next),
+		kind:    kind,
+		params:  params,
+		state:   JobPending,
+		created: time.Now(),
+		cancel:  cancel,
+		ringCap: m.ringCap,
+		subs:    map[chan JobEvent]struct{}{},
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+
+	m.wg.Add(1)
+	go m.run(ctx, cancel, j, r)
+	return j, nil
+}
+
+// run drives one job through its lifecycle.
+func (m *Manager) run(ctx context.Context, cancel context.CancelFunc, j *Job, r Runner) {
+	defer m.wg.Done()
+	defer cancel()
+
+	j.transition(JobRunning, "")
+	res, err := r(ctx, j, j.progress)
+
+	var pe *core.PartialError
+	if errors.As(err, &pe) {
+		j.mu.Lock()
+		j.partial = &PartialInfo{Stage: pe.Stage, Done: pe.Done, Total: pe.Total}
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	j.result = res
+	wasCancelled := j.cancelled
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.transition(JobDone, "")
+	case wasCancelled && errors.Is(err, context.Canceled):
+		j.transition(JobCanceled, err.Error())
+	default:
+		j.transition(JobFailed, err.Error())
+	}
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation of a running job. Canceling a
+// job already in a terminal state is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("serve: no job %q", id)
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Close cancels every running job and waits for their goroutines to
+// drain.
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+}
+
+// sortStrings is an allocation-light insertion sort (kind lists are
+// tiny; avoids importing sort for one call site).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}

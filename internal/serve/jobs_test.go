@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"otif/internal/core"
+	"otif/internal/obs"
+)
+
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state (now %q)", j.ID(), j.State())
+	}
+	if got := j.State(); got != want {
+		t.Fatalf("job %s state = %q, want %q", j.ID(), got, want)
+	}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	m.Register("ok", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		for i := 0; i < 3; i++ {
+			progress.Emit(obs.Event{Kind: obs.EventClip, Index: i, Total: 3, Runtime: 0.5})
+		}
+		return map[string]int{"clips": 3}, nil
+	})
+	j, err := m.Submit("ok", map[string]string{"set": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobDone)
+	v := j.View()
+	if v.Error != "" || v.Result == nil || v.Started == nil || v.Finished == nil {
+		t.Errorf("done view incomplete: %+v", v)
+	}
+	// Events: running + 3 clips + done = 5, in order with contiguous seq.
+	backlog, _, unsub := j.Subscribe()
+	unsub()
+	if len(backlog) != 5 {
+		t.Fatalf("backlog has %d events, want 5: %+v", len(backlog), backlog)
+	}
+	for i, e := range backlog {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if backlog[0].Kind != "state" || backlog[0].State != JobRunning {
+		t.Errorf("first event = %+v, want running state", backlog[0])
+	}
+	if last := backlog[len(backlog)-1]; last.Kind != "state" || last.State != JobDone {
+		t.Errorf("last event = %+v, want done state", last)
+	}
+}
+
+func TestJobFailureSurfacesPartialError(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	m.Register("partial", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		return nil, &core.PartialError{Stage: "extract", Done: 2, Total: 5, Err: errors.New("disk on fire")}
+	})
+	j, _ := m.Submit("partial", nil)
+	waitState(t, j, JobFailed)
+	v := j.View()
+	if v.Partial == nil || v.Partial.Stage != "extract" || v.Partial.Done != 2 || v.Partial.Total != 5 {
+		t.Errorf("partial info = %+v, want extract 2/5", v.Partial)
+	}
+	if v.Error == "" {
+		t.Error("failed job has empty error")
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	started := make(chan struct{})
+	m.Register("slow", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, &core.PartialError{Stage: "extract", Done: 1, Total: 4, Err: ctx.Err()}
+	})
+	j, _ := m.Submit("slow", nil)
+	<-started
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobCanceled)
+	v := j.View()
+	if v.Partial == nil || v.Partial.Done != 1 {
+		t.Errorf("canceled job partial = %+v, want 1/4", v.Partial)
+	}
+	// Cancel on a terminal job is a no-op.
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Errorf("cancel on terminal job: %v", err)
+	}
+}
+
+func TestJobCancelBeforeRunObserved(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	m.Register("ctx", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		// The runner sees an already-canceled context if cancel arrived
+		// while the job was still pending.
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	j, _ := m.Submit("ctx", nil)
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, JobCanceled)
+}
+
+func TestSubmitUnknownKind(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	if _, err := m.Submit("nope", nil); err == nil {
+		t.Fatal("submitting an unknown kind succeeded")
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	const ringCap = 8
+	m := NewManager(ringCap)
+	defer m.Close()
+	m.Register("chatty", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		for i := 0; i < 100; i++ {
+			progress.Emit(obs.Event{Kind: obs.EventClip, Index: i, Total: 100})
+		}
+		return nil, nil
+	})
+	j, _ := m.Submit("chatty", nil)
+	waitState(t, j, JobDone)
+	backlog, _, unsub := j.Subscribe()
+	unsub()
+	if len(backlog) != ringCap {
+		t.Fatalf("backlog holds %d events, want ring capacity %d", len(backlog), ringCap)
+	}
+	v := j.View()
+	if v.Events != 102 { // running + 100 clips + done
+		t.Errorf("total events = %d, want 102", v.Events)
+	}
+	if v.Dropped != 102-ringCap {
+		t.Errorf("dropped = %d, want %d", v.Dropped, 102-ringCap)
+	}
+	// The retained tail is the newest events, ending in the done state.
+	if last := backlog[len(backlog)-1]; last.State != JobDone {
+		t.Errorf("last retained event = %+v, want done state", last)
+	}
+	if backlog[0].Seq != v.Events-int64(ringCap)+1 {
+		t.Errorf("oldest retained seq = %d, want %d", backlog[0].Seq, v.Events-int64(ringCap)+1)
+	}
+}
+
+// newTestServer wires a manager into the full handler stack.
+func newTestServer(t *testing.T, m *Manager, ready func() bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer((&Server{Manager: m, Registry: obs.NewRegistry(), Ready: ready}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPJobEndpoints(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	release := make(chan struct{})
+	m.Register("gated", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		progress.Emit(obs.Event{Kind: obs.EventClip, Index: 0, Total: 2, Runtime: 0.25})
+		select {
+		case <-release:
+			return "finished", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	srv := newTestServer(t, m, nil)
+
+	// Submit.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"gated","params":{"set":"test"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status = %d, want 202", resp.StatusCode)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.ID == "" || view.Kind != "gated" {
+		t.Fatalf("submit view = %+v", view)
+	}
+
+	// SSE: read frames until the clip event arrives.
+	sseResp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	sawClip := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(sseResp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: clip") {
+				close(sawClip)
+				return
+			}
+		}
+	}()
+	select {
+	case <-sawClip:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no clip event over SSE")
+	}
+
+	// List shows the running job.
+	var list struct {
+		Kinds []string  `json:"kinds"`
+		Jobs  []JobView `json:"jobs"`
+	}
+	getJSON(t, srv.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].State != JobRunning {
+		t.Fatalf("list = %+v, want one running job", list)
+	}
+	if len(list.Kinds) != 1 || list.Kinds[0] != "gated" {
+		t.Fatalf("kinds = %v", list.Kinds)
+	}
+
+	close(release)
+	j, _ := m.Get(view.ID)
+	waitState(t, j, JobDone)
+	var got JobView
+	getJSON(t, srv.URL+"/jobs/"+view.ID, &got)
+	if got.State != JobDone || got.Result != "finished" {
+		t.Fatalf("GET /jobs/{id} after completion = %+v", got)
+	}
+
+	// Unknown job is a JSON 404.
+	r404, err := http.Get(srv.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job status = %d, want 404", r404.StatusCode)
+	}
+}
+
+func TestHTTPCancelEndpoint(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	started := make(chan struct{})
+	m.Register("slow", func(ctx context.Context, job *Job, progress obs.Progress) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	srv := newTestServer(t, m, nil)
+	j, _ := m.Submit("slow", nil)
+	<-started
+	resp, err := http.Post(srv.URL+"/jobs/"+j.ID()+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d, want 200", resp.StatusCode)
+	}
+	waitState(t, j, JobCanceled)
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	ready := false
+	m := NewManager(0)
+	defer m.Close()
+	srv := newTestServer(t, m, func() bool { return ready })
+
+	status := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", got)
+	}
+	ready = true
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz after ready = %d, want 200", got)
+	}
+	if got := status("/debug/vars"); got != http.StatusOK {
+		t.Errorf("/debug/vars = %d, want 200", got)
+	}
+	if got := status("/debug/pprof/"); got != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", got)
+	}
+}
+
+func TestMetricsEndpointServesRegistry(t *testing.T) {
+	m := NewManager(0)
+	defer m.Close()
+	reg := obs.NewRegistry()
+	reg.Counter("run.clips").Add(4)
+	srv := httptest.NewServer((&Server{Manager: m, Registry: reg}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Fprintln(&buf, sc.Text())
+	}
+	if !strings.Contains(buf.String(), "otif_run_clips_total 4") {
+		t.Errorf("/metrics output missing counter:\n%s", buf.String())
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

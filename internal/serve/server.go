@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"otif/internal/obs"
+)
+
+// Server wires the exposition endpoints onto one stdlib http mux:
+//
+//	GET  /metrics               Prometheus text exposition of the registry
+//	GET  /healthz               liveness (200 once the process serves)
+//	GET  /readyz                readiness (503 until Ready() reports true)
+//	GET  /jobs                  all job records, submission order (JSON)
+//	POST /jobs                  submit {"kind": ..., "params": {...}} → 202
+//	GET  /jobs/{id}             one job record (JSON)
+//	GET  /jobs/{id}/events      the job's event stream (SSE)
+//	POST /jobs/{id}/cancel      cooperative cancellation
+//	GET  /debug/vars            expvar
+//	     /debug/pprof/*         CPU/heap/goroutine profiling
+type Server struct {
+	// Registry is the metrics source; nil selects obs.Default.
+	Registry *obs.Registry
+	// Manager handles the /jobs endpoints; nil serves 404 for them.
+	Manager *Manager
+	// Ready gates /readyz; nil means always ready.
+	Ready func() bool
+	// Prefix namespaces exported metric names; empty selects DefaultPrefix.
+	Prefix string
+}
+
+// Handler builds the routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Ready != nil && !s.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if s.Manager != nil {
+		mux.HandleFunc("GET /jobs", s.handleJobList)
+		mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+		mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	}
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) registry() *obs.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return obs.Default
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.registry().Snapshot(), s.Prefix); err != nil && obs.Log() != nil {
+		obs.Log().Warn("otifd: metrics write failed", "error", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kinds": s.Manager.Kinds(),
+		"jobs":  s.Manager.List(),
+	})
+}
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Kind   string            `json:"kind"`
+	Params map[string]string `json:"params"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Kind == "" {
+		writeError(w, http.StatusBadRequest, `missing "kind"`)
+		return
+	}
+	job, err := s.Manager.Submit(req.Kind, req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.View())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Manager.Cancel(job.ID()); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+// handleJobEvents streams the job's events as Server-Sent Events: the
+// buffered backlog first, then live events until the job reaches a
+// terminal state or the client disconnects. Each frame carries the
+// per-job sequence number as the SSE id, the event kind as the SSE event
+// name, and the JobEvent JSON as data.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(e JobEvent) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+			return false
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		// A terminal state event is the stream's last frame.
+		return !(e.Kind == "state" && e.State.Terminal())
+	}
+
+	backlog, ch, unsub := job.Subscribe()
+	defer unsub()
+	last := int64(0)
+	for _, e := range backlog {
+		if !send(e) {
+			return
+		}
+		last = e.Seq
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-ch:
+			if e.Seq <= last {
+				continue // already replayed from the backlog
+			}
+			if !send(e) {
+				return
+			}
+			last = e.Seq
+		case <-job.Done():
+			// Drain events published before the terminal transition.
+			for {
+				select {
+				case e := <-ch:
+					if e.Seq <= last {
+						continue
+					}
+					if !send(e) {
+						return
+					}
+					last = e.Seq
+				default:
+					return
+				}
+			}
+		}
+	}
+}

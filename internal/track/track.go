@@ -76,7 +76,9 @@ func (t *Track) BoxAt(frameIdx int) (geom.Rect, bool) {
 }
 
 // MajorityCategory returns the most frequent detection category of the
-// track (tracks inherit their category from their detections).
+// track (tracks inherit their category from their detections). Count
+// ties break to the lexicographically smallest category, not map
+// iteration order, so repeated runs label tracks identically.
 func (t *Track) MajorityCategory() string {
 	counts := map[string]int{}
 	for _, d := range t.Dets {
@@ -84,7 +86,7 @@ func (t *Track) MajorityCategory() string {
 	}
 	best, bestN := "", -1
 	for c, n := range counts {
-		if n > bestN {
+		if n > bestN || (n == bestN && c < best) {
 			best, bestN = c, n
 		}
 	}

@@ -76,6 +76,21 @@ func TestMajorityCategory(t *testing.T) {
 	}
 }
 
+func TestMajorityCategoryTieDeterministic(t *testing.T) {
+	// A 2-2 count tie must resolve the same way on every call (the
+	// lexicographically smallest category), not by map iteration order:
+	// a flapping label changes category-filtered query accuracy between
+	// otherwise identical runs.
+	tr := &Track{Dets: []detect.Detection{
+		{Category: "car"}, {Category: "bus"}, {Category: "bus"}, {Category: "car"},
+	}}
+	for i := 0; i < 100; i++ {
+		if got := tr.MajorityCategory(); got != "bus" {
+			t.Fatalf("call %d: MajorityCategory = %q, want bus", i, got)
+		}
+	}
+}
+
 func TestPruneShort(t *testing.T) {
 	tracks := []*Track{
 		linearTrack(0, 1, 1, 0, 0, 1, 0),

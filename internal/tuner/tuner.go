@@ -218,6 +218,13 @@ func TuneContext(ctx context.Context, sys *core.System, metric core.Metric, opts
 		curve = append(curve, best)
 		cur = best
 		iterSpan.End()
+		if l := obs.Log(); l != nil {
+			l.Info("otif: tune iteration", "iter", iter, "candidates", len(cands),
+				"runtime", best.Runtime, "accuracy", best.Accuracy)
+		}
+	}
+	if l := obs.Log(); l != nil {
+		l.Info("otif: tune finished", "points", len(curve))
 	}
 	return curve, nil
 }

@@ -2,6 +2,7 @@ package otif
 
 import (
 	"io"
+	"log/slog"
 
 	"otif/internal/obs"
 )
@@ -33,6 +34,15 @@ func ResetMetrics() { obs.Default.Reset() }
 // Recording is on by default; disabling it turns every record into a single
 // atomic load. Results are bit-identical either way.
 func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// SetLogger installs a process-wide structured logger (or removes it with
+// nil, the default). The pipeline logs only at coarse boundaries — a
+// RunSet finishing, a tuner iteration choosing its candidate, an otifd job
+// changing state — never per frame, and logging never changes results:
+// extraction runtimes and tuning curves are bit-identical with logging
+// enabled or disabled. With no logger installed every log site is a single
+// atomic load, keeping deterministic benchmarks allocation-free.
+func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
 
 // EnableTracing installs a process-wide span tracer capturing up to max
 // spans (a cap <= 0 selects a default) and returns it. Tracing is off by
