@@ -28,7 +28,8 @@ func main() {
 		seconds  = flag.Float64("seconds", 0, "seconds per clip (0 = default)")
 		saveTo   = flag.String("save", "", "save the trained model bundle to this file")
 		loadFm   = flag.String("load", "", "load a trained model bundle instead of training")
-		tracksF  = flag.String("tracks", "", "write the extracted track set to this file")
+		tracksF  = flag.String("tracks", "", "write the extracted track set to this file (self-describing v2 format)")
+		queryF   = flag.String("query-tracks", "", "load a stored track file and answer queries from it, skipping the pipeline entirely")
 		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		metricsF = flag.Bool("metrics", false, "print the metrics registry (text form) after the run")
@@ -45,6 +46,39 @@ func main() {
 		for _, d := range otif.Datasets() {
 			fmt.Println(d)
 		}
+		return
+	}
+
+	// -query-tracks: the pure post-processing workflow. The v2 track
+	// format is self-describing, so no dataset, geometry or frame-rate
+	// arguments are needed — open the file and query.
+	if *queryF != "" {
+		f, err := os.Open(*queryF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		ts, err := otif.ReadTrackSet(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otif:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s: dataset=%q clips=%d\n", *queryF, ts.Dataset, len(ts.PerClip))
+		counts := ts.Query().Category("car").Count()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("  unique cars per clip: %v (total %d)\n", counts, total)
+		frames := ts.Query().Category("car").MinCount(2).Limit(3).MinSep(1).Frames()
+		for clip, ms := range frames {
+			for _, m := range ms {
+				fmt.Printf("  clip %d frame %d: %d cars visible\n", clip, m.FrameIdx, len(m.Boxes))
+			}
+		}
+		fmt.Printf("  average visible cars per clip: %.1f...\n", mean(ts.Query().Category("car").AvgVisible()))
+		finish(*metricsF, *traceOut)
 		return
 	}
 

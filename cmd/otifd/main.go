@@ -10,11 +10,21 @@
 //	GET  /jobs/{id}             one job record
 //	GET  /jobs/{id}/events      live job progress (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
+//	GET  /query/count           indexed track queries over the current
+//	GET  /query/breakdown       track set: counts, path breakdown,
+//	GET  /query/limit           frame-level limit queries and dwell
+//	POST /query/dwell           times (503 until tracks are loaded)
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
 //
+// The query endpoints answer from the indexed track store. Tracks come
+// from a successful extract job, or immediately at startup from a stored
+// track file (-tracks), in which case queries work before the pipeline
+// finishes training.
+//
 //	otifd -dataset caldot1                        # default address :8080
 //	otifd -addr 127.0.0.1:0 -clips 2 -seconds 2   # tiny instance, random port
+//	otifd -tracks caldot1.tracks                  # serve queries from a stored file
 //	otifd -log json -log-level debug              # structured logs on stderr
 //
 // Scraping, streaming and logging never change pipeline results:
@@ -41,7 +51,9 @@ import (
 
 	"otif"
 	"otif/internal/obs"
+	"otif/internal/query"
 	"otif/internal/serve"
+	"otif/internal/store"
 )
 
 func main() {
@@ -56,6 +68,7 @@ func main() {
 		logMode  = flag.String("log", "text", "structured log format: off, text, json")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		ringCap  = flag.Int("events", 256, "buffered progress events retained per job")
+		tracksF  = flag.String("tracks", "", "serve /query/* from this stored track file at startup")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
@@ -72,10 +85,32 @@ func main() {
 	}
 
 	d := &daemon{}
+	if *tracksF != "" {
+		// The v2 track format is self-describing, so the file serves
+		// queries with no dataset or geometry arguments — and before the
+		// pipeline finishes training.
+		f, err := os.Open(*tracksF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otifd:", err)
+			os.Exit(1)
+		}
+		ts, err := otif.ReadTrackSet(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otifd:", err)
+			os.Exit(1)
+		}
+		d.tracks.Store(ts)
+		logf.Info("otifd: tracks loaded", "file", *tracksF, "dataset", ts.Dataset, "clips", len(ts.PerClip))
+	}
 	mgr := serve.NewManager(*ringCap)
 	mgr.Register("tune", d.runTune)
 	mgr.Register("extract", d.runExtract)
-	srv := &serve.Server{Manager: mgr, Ready: d.ready.Load}
+	srv := &serve.Server{
+		Manager: mgr,
+		Ready:   d.ready.Load,
+		Queries: &serve.QueryAPI{Store: d.store, Movements: d.movements},
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -141,8 +176,33 @@ type daemon struct {
 	pipe  *otif.Pipeline
 	curve []otif.Point
 
-	relay atomic.Pointer[obs.Progress]
-	ready atomic.Bool
+	relay  atomic.Pointer[obs.Progress]
+	ready  atomic.Bool
+	tracks atomic.Pointer[otif.TrackSet]
+}
+
+// store exposes the current track set's index to the /query endpoints.
+// It swaps atomically when an extract job completes, so queries always
+// see a complete, immutable track set.
+func (d *daemon) store() *store.Store {
+	if ts := d.tracks.Load(); ts != nil {
+		return ts.Index()
+	}
+	return nil
+}
+
+// movements exposes the dataset's labeled movements for /query/breakdown
+// once the pipeline is up (a -tracks file alone carries no movements).
+func (d *daemon) movements() []query.Movement {
+	if !d.ready.Load() {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pipe == nil {
+		return nil
+	}
+	return d.pipe.Movements()
 }
 
 func (d *daemon) relayProgress(e obs.Event) {
@@ -213,6 +273,8 @@ func (d *daemon) runExtract(ctx context.Context, job *serve.Job, progress obs.Pr
 	if err != nil {
 		return nil, err
 	}
+	// Publish the fresh tracks to the /query endpoints.
+	d.tracks.Store(ts)
 	return map[string]any{
 		"set":      string(set),
 		"config":   fmt.Sprintf("%v", pick.Cfg),

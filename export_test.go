@@ -1,0 +1,13 @@
+package otif
+
+import (
+	"io"
+
+	"otif/internal/persist"
+)
+
+// WriteTrackSetV1ForTest writes ts in the legacy v1 track layout so the
+// compatibility tests can exercise the v1 load path of ReadTrackSet.
+func WriteTrackSetV1ForTest(w io.Writer, ts *TrackSet) error {
+	return persist.WriteTracks(w, ts.PerClip)
+}

@@ -9,14 +9,54 @@ import (
 	"otif/internal/query"
 )
 
-// trackMagic identifies a track-set file.
-const trackMagic = "OTIFTRK1"
+// Track-set file magics. V1 files carry no clip geometry (loading needs
+// positional context from the caller); V2 files are self-describing: the
+// header records the frame rate, nominal geometry, frames per clip and
+// dataset name, so a V2 file loads with zero positional arguments.
+const (
+	trackMagic   = "OTIFTRK1"
+	trackMagicV2 = "OTIFTRK2"
 
-// WriteTracks serializes per-clip track sets (the output of one OTIF
-// pre-processing pass over a clip set).
+	trackVersion2 = 2
+)
+
+// TrackMeta is the self-describing header of a V2 track file: everything a
+// loader needs to answer queries over the tracks without out-of-band
+// context.
+type TrackMeta struct {
+	FPS        int
+	NomW, NomH int
+	Frames     int // clip length in frames
+	Dataset    string
+}
+
+// WriteTracks serializes per-clip track sets in the legacy V1 layout
+// (no header metadata). Kept so compatibility tests can produce V1 files;
+// new writers use WriteTracksV2.
 func WriteTracks(dst io.Writer, perClip [][]*query.Track) error {
 	w := newWriter(dst)
 	w.header(trackMagic)
+	writeTrackBody(w, perClip)
+	return w.finish()
+}
+
+// WriteTracksV2 serializes per-clip track sets in the self-describing V2
+// layout: magic, format version, clip geometry and dataset name, then the
+// same track body as V1, all covered by the trailing checksum.
+func WriteTracksV2(dst io.Writer, perClip [][]*query.Track, meta TrackMeta) error {
+	w := newWriter(dst)
+	w.bytes([]byte(trackMagicV2))
+	w.u32(trackVersion2)
+	w.int(meta.FPS)
+	w.int(meta.NomW)
+	w.int(meta.NomH)
+	w.int(meta.Frames)
+	w.str(meta.Dataset)
+	writeTrackBody(w, perClip)
+	return w.finish()
+}
+
+func writeTrackBody(w *writer, perClip [][]*query.Track) {
 	w.int(len(perClip))
 	for _, tracks := range perClip {
 		w.int(len(tracks))
@@ -24,7 +64,6 @@ func WriteTracks(dst io.Writer, perClip [][]*query.Track) error {
 			writeTrack(w, t)
 		}
 	}
-	return w.finish()
 }
 
 func writeTrack(w *writer, t *query.Track) {
@@ -49,13 +88,54 @@ func writeTrack(w *writer, t *query.Track) {
 	}
 }
 
-// ReadTracks loads a track-set file written by WriteTracks, verifying the
-// checksum.
+// ReadTracks loads a V1 track-set file written by WriteTracks, verifying
+// the checksum. New callers use ReadTracksAuto, which dispatches on the
+// magic and also understands V2.
 func ReadTracks(src io.Reader) ([][]*query.Track, error) {
+	perClip, _, err := ReadTracksAuto(src)
+	return perClip, err
+}
+
+// ReadTracksAuto loads a track-set file of either format, returning the
+// header metadata for V2 files and nil meta for V1 files (whose context
+// the caller must supply out of band).
+func ReadTracksAuto(src io.Reader) ([][]*query.Track, *TrackMeta, error) {
 	r := newReader(src)
-	if err := r.header(trackMagic); err != nil {
-		return nil, err
+	magic := string(r.bytes(len(trackMagic)))
+	if r.err != nil {
+		return nil, nil, r.err
 	}
+	var meta *TrackMeta
+	switch magic {
+	case trackMagic:
+		if v := r.u32(); r.err == nil && v != 1 {
+			return nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+	case trackMagicV2:
+		if v := r.u32(); r.err == nil && v != trackVersion2 {
+			return nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+		meta = &TrackMeta{
+			FPS:  r.int(),
+			NomW: r.int(),
+			NomH: r.int(),
+		}
+		meta.Frames = r.int()
+		meta.Dataset = r.str()
+	default:
+		return nil, nil, ErrBadMagic
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	perClip, err := readTrackBody(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perClip, meta, nil
+}
+
+func readTrackBody(r *reader) ([][]*query.Track, error) {
 	nClips := r.int()
 	if r.err != nil || nClips < 0 || nClips > 1<<20 {
 		return nil, badLen(r, nClips)

@@ -13,7 +13,14 @@ import (
 
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/obs"
 )
+
+// metScanBoxes counts detection elements examined by the linear-scan query
+// implementations (BoxAt walks, dwell sweeps). The indexed store records
+// the same unit under store.index_boxes, so the ratio of the two counters
+// is the pruning factor the index achieves on a workload.
+var metScanBoxes = obs.Default.Counter("query.scan_boxes")
 
 // Track is one stored object track as produced by the OTIF pipeline: the
 // raw detections plus the (possibly endpoint-refined) spatial path.
@@ -44,6 +51,7 @@ func (t *Track) LastFrame() int {
 func (t *Track) BoxAt(frameIdx int) (geom.Rect, bool) {
 	n := len(t.Dets)
 	if n == 0 || frameIdx < t.Dets[0].FrameIdx || frameIdx > t.Dets[n-1].FrameIdx {
+		metScanBoxes.Inc()
 		return geom.Rect{}, false
 	}
 	for i := 0; i+1 < n; i++ {
@@ -51,18 +59,62 @@ func (t *Track) BoxAt(frameIdx int) (geom.Rect, bool) {
 		if frameIdx > b.FrameIdx {
 			continue
 		}
-		if b.FrameIdx == a.FrameIdx {
-			return a.Box, true
-		}
-		f := float64(frameIdx-a.FrameIdx) / float64(b.FrameIdx-a.FrameIdx)
-		return geom.Rect{
-			X: a.Box.X + (b.Box.X-a.Box.X)*f,
-			Y: a.Box.Y + (b.Box.Y-a.Box.Y)*f,
-			W: a.Box.W + (b.Box.W-a.Box.W)*f,
-			H: a.Box.H + (b.Box.H-a.Box.H)*f,
-		}, true
+		metScanBoxes.Add(int64(i) + 2)
+		return InterpBox(a, b, frameIdx), true
 	}
+	metScanBoxes.Add(int64(n))
 	return t.Dets[n-1].Box, true
+}
+
+// InterpBox interpolates between two detections at frameIdx with the exact
+// arithmetic BoxAt uses; the indexed store shares it so index-backed
+// results are bit-identical to the scans.
+func InterpBox(a, b detect.Detection, frameIdx int) geom.Rect {
+	if b.FrameIdx == a.FrameIdx {
+		return a.Box
+	}
+	f := float64(frameIdx-a.FrameIdx) / float64(b.FrameIdx-a.FrameIdx)
+	return geom.Rect{
+		X: a.Box.X + (b.Box.X-a.Box.X)*f,
+		Y: a.Box.Y + (b.Box.Y-a.Box.Y)*f,
+		W: a.Box.W + (b.Box.W-a.Box.W)*f,
+		H: a.Box.H + (b.Box.H-a.Box.H)*f,
+	}
+}
+
+// Interp walks one track's detections forward, interpolating boxes at
+// non-decreasing frame indices in O(dets + frames) amortized instead of
+// BoxAt's O(dets) per call. It returns exactly what BoxAt would: the
+// segment chosen for any frame is the first detection pair whose second
+// endpoint is at or past the frame, and the arithmetic is shared.
+type Interp struct {
+	t *Track
+	i int
+	// Visited counts detection elements examined, in the same unit as the
+	// query.scan_boxes / store.index_boxes counters.
+	Visited int64
+}
+
+// NewInterp starts an interpolating walk over t.
+func NewInterp(t *Track) Interp { return Interp{t: t} }
+
+// BoxAt returns the same box as t.BoxAt(frameIdx). Frame indices must be
+// non-decreasing across calls on one Interp.
+func (ip *Interp) BoxAt(frameIdx int) (geom.Rect, bool) {
+	t := ip.t
+	n := len(t.Dets)
+	ip.Visited++
+	if n == 0 || frameIdx < t.Dets[0].FrameIdx || frameIdx > t.Dets[n-1].FrameIdx {
+		return geom.Rect{}, false
+	}
+	for ip.i+1 < n && frameIdx > t.Dets[ip.i+1].FrameIdx {
+		ip.i++
+		ip.Visited++
+	}
+	if ip.i+1 >= n {
+		return t.Dets[n-1].Box, true
+	}
+	return InterpBox(t.Dets[ip.i], t.Dets[ip.i+1], frameIdx), true
 }
 
 // Context carries the clip geometry queries need.
@@ -241,15 +293,27 @@ func VisibleBoxes(tracks []*Track, cat string, frameIdx int) ([]geom.Rect, []*Tr
 	return boxes, owners
 }
 
+// VisibleFunc supplies the boxes (and owning tracks) of one category
+// visible at a frame. The linear scans and the indexed store both
+// implement it, so the query cores below run identically over either.
+type VisibleFunc func(frameIdx int) ([]geom.Rect, []*Track)
+
 // LimitQuery executes a frame-level limit query over one clip's tracks:
 // it scans frames, evaluates the predicate on the visible boxes, enforces
 // the minimum separation between returned frames, ranks candidates by the
 // minimum remaining duration of their visible tracks (descending), and
 // returns up to limit matches.
 func LimitQuery(tracks []*Track, cat string, pred FramePredicate, ctx Context, limit int, minSepFrames int) []FrameMatch {
+	return LimitQueryFrom(func(f int) ([]geom.Rect, []*Track) {
+		return VisibleBoxes(tracks, cat, f)
+	}, pred, ctx, limit, minSepFrames)
+}
+
+// LimitQueryFrom is LimitQuery over any visible-boxes source.
+func LimitQueryFrom(visible VisibleFunc, pred FramePredicate, ctx Context, limit int, minSepFrames int) []FrameMatch {
 	var cands []FrameMatch
 	for f := 0; f < ctx.Frames; f++ {
-		boxes, owners := VisibleBoxes(tracks, cat, f)
+		boxes, owners := visible(f)
 		matched, ok := pred.Eval(boxes)
 		if !ok {
 			continue
@@ -337,12 +401,19 @@ func maxDecel(t *Track, fps int) float64 {
 // AvgVisible returns the average number of category objects visible per
 // frame over the clip (example query (3)).
 func AvgVisible(tracks []*Track, cat string, ctx Context) float64 {
+	return AvgVisibleFrom(func(f int) ([]geom.Rect, []*Track) {
+		return VisibleBoxes(tracks, cat, f)
+	}, ctx)
+}
+
+// AvgVisibleFrom is AvgVisible over any visible-boxes source.
+func AvgVisibleFrom(visible VisibleFunc, ctx Context) float64 {
 	if ctx.Frames == 0 {
 		return 0
 	}
 	var total int
 	for f := 0; f < ctx.Frames; f++ {
-		boxes, _ := VisibleBoxes(tracks, cat, f)
+		boxes, _ := visible(f)
 		total += len(boxes)
 	}
 	return float64(total) / float64(ctx.Frames)
@@ -352,13 +423,24 @@ func AvgVisible(tracks []*Track, cat string, ctx Context) float64 {
 // nB of catB (example query (2): "frames with at least three buses and
 // three cars").
 func BusyFrames(tracks []*Track, catA string, nA int, catB string, nB int, ctx Context) []int {
+	return BusyFramesFrom(func(f int) ([]geom.Rect, []*Track) {
+		return VisibleBoxes(tracks, catA, f)
+	}, nA, func(f int) ([]geom.Rect, []*Track) {
+		return VisibleBoxes(tracks, catB, f)
+	}, nB, ctx)
+}
+
+// BusyFramesFrom is BusyFrames over any pair of visible-boxes sources.
+// The catB source is only consulted on frames where catA qualifies,
+// matching the scan's short-circuit.
+func BusyFramesFrom(visA VisibleFunc, nA int, visB VisibleFunc, nB int, ctx Context) []int {
 	var out []int
 	for f := 0; f < ctx.Frames; f++ {
-		a, _ := VisibleBoxes(tracks, catA, f)
+		a, _ := visA(f)
 		if len(a) < nA {
 			continue
 		}
-		b, _ := VisibleBoxes(tracks, catB, f)
+		b, _ := visB(f)
 		if len(b) >= nB {
 			out = append(out, f)
 		}

@@ -90,9 +90,16 @@ func DwellTime(tracks []*Track, cat string, region geom.Polygon, ctx Context) ma
 // returns the total over the clip — a proximity analytics primitive
 // (e.g. near-miss counting).
 func CoOccurrences(tracks []*Track, cat string, dist float64, ctx Context) int {
+	return CoOccurrencesFrom(func(f int) ([]geom.Rect, []*Track) {
+		return VisibleBoxes(tracks, cat, f)
+	}, dist, ctx)
+}
+
+// CoOccurrencesFrom is CoOccurrences over any visible-boxes source.
+func CoOccurrencesFrom(visible VisibleFunc, dist float64, ctx Context) int {
 	total := 0
 	for f := 0; f < ctx.Frames; f++ {
-		boxes, _ := VisibleBoxes(tracks, cat, f)
+		boxes, _ := visible(f)
 		for i := 0; i < len(boxes); i++ {
 			for j := i + 1; j < len(boxes); j++ {
 				if boxes[i].Center().Dist(boxes[j].Center()) <= dist {

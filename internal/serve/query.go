@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"otif/internal/geom"
+	"otif/internal/obs"
+	"otif/internal/query"
+	"otif/internal/store"
+)
+
+// Query serving metrics: request/error counters plus a latency histogram.
+// The paper's contract is millisecond query execution over stored tracks;
+// serve.query_seconds makes that observable per deployment.
+var (
+	metQueryRequests = obs.Default.Counter("serve.query_requests")
+	metQueryErrors   = obs.Default.Counter("serve.query_errors")
+	metQuerySeconds  = obs.Default.Histogram("serve.query_seconds",
+		0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1)
+)
+
+// QueryAPI serves the /query/* endpoints over an indexed track store:
+//
+//	GET  /query/count?category=car                 per-clip track counts
+//	GET  /query/breakdown?category=car&maxdist=90  path (movement) breakdown
+//	GET  /query/limit?category=car&n=2&limit=5&minsep=1.5
+//	                                               frame-level limit query
+//	POST /query/dwell {"category":"car","region":[[x,y],...]}
+//	                                               per-track dwell seconds
+//
+// Store supplies the current indexed store (nil while no tracks are
+// loaded: endpoints answer 503). Movements supplies the dataset's labeled
+// movements for /query/breakdown (nil: 404 for that endpoint's data).
+type QueryAPI struct {
+	Store     func() *store.Store
+	Movements func() []query.Movement
+}
+
+// register wires the query routes onto the mux.
+func (q *QueryAPI) register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /query/count", q.instrument(q.handleCount))
+	mux.HandleFunc("GET /query/breakdown", q.instrument(q.handleBreakdown))
+	mux.HandleFunc("GET /query/limit", q.instrument(q.handleLimit))
+	mux.HandleFunc("POST /query/dwell", q.instrument(q.handleDwell))
+}
+
+// instrument wraps a query handler with the store-availability gate, the
+// request counter and the latency histogram.
+func (q *QueryAPI) instrument(h func(w http.ResponseWriter, r *http.Request, s *store.Store)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		metQueryRequests.Inc()
+		s := q.Store()
+		if s == nil {
+			metQueryErrors.Inc()
+			writeError(w, http.StatusServiceUnavailable, "no track set loaded (extract first, or start with -tracks)")
+			return
+		}
+		start := time.Now()
+		h(w, r, s)
+		metQuerySeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (q *QueryAPI) handleCount(w http.ResponseWriter, r *http.Request, s *store.Store) {
+	cat := r.FormValue("category")
+	perClip := s.CountTracks(cat)
+	total := 0
+	for _, c := range perClip {
+		total += c
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"category": cat,
+		"per_clip": perClip,
+		"total":    total,
+	})
+}
+
+func (q *QueryAPI) handleBreakdown(w http.ResponseWriter, r *http.Request, s *store.Store) {
+	var movements []query.Movement
+	if q.Movements != nil {
+		movements = q.Movements()
+	}
+	if len(movements) == 0 {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusNotFound, "no movements available for this dataset")
+		return
+	}
+	cat := r.FormValue("category")
+	maxDist, err := floatParam(r, "maxdist", 0.22*float64(s.Context().NomW))
+	if err != nil {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	perClip := s.PathBreakdown(cat, movements, maxDist)
+	agg := map[string]int{}
+	for _, m := range perClip {
+		for k, v := range m {
+			agg[k] += v
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"category": cat,
+		"maxdist":  maxDist,
+		"per_clip": perClip,
+		"total":    agg,
+	})
+}
+
+// limitFrame is one frame match in the /query/limit response.
+type limitFrame struct {
+	FrameIdx int         `json:"frame"`
+	Boxes    []geom.Rect `json:"boxes"`
+}
+
+func (q *QueryAPI) handleLimit(w http.ResponseWriter, r *http.Request, s *store.Store) {
+	cat := r.FormValue("category")
+	n, err1 := intParam(r, "n", 1)
+	limit, err2 := intParam(r, "limit", 10)
+	minSepSec, err3 := floatParam(r, "minsep", 0)
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			metQueryErrors.Inc()
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	minSep := int(minSepSec * float64(s.Context().FPS))
+	perClip := s.LimitQuery(cat, query.CountPredicate{N: n}, limit, minSep)
+	out := make([][]limitFrame, len(perClip))
+	for i, ms := range perClip {
+		out[i] = make([]limitFrame, len(ms))
+		for j, m := range ms {
+			out[i][j] = limitFrame{FrameIdx: m.FrameIdx, Boxes: m.Boxes}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"category": cat,
+		"n":        n,
+		"per_clip": out,
+	})
+}
+
+// dwellRequest is the POST /query/dwell body: a category and a polygonal
+// region as [x, y] vertex pairs in nominal frame coordinates.
+type dwellRequest struct {
+	Category string       `json:"category"`
+	Region   [][2]float64 `json:"region"`
+}
+
+func (q *QueryAPI) handleDwell(w http.ResponseWriter, r *http.Request, s *store.Store) {
+	var req dwellRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Region) < 3 {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusBadRequest, "region needs at least 3 vertices")
+		return
+	}
+	region := make(geom.Polygon, len(req.Region))
+	for i, p := range req.Region {
+		region[i] = geom.Point{X: p[0], Y: p[1]}
+	}
+	perClip := s.DwellTime(req.Category, region)
+	out := make([]map[string]float64, len(perClip))
+	for i, m := range perClip {
+		out[i] = make(map[string]float64, len(m))
+		for id, sec := range m {
+			out[i][strconv.Itoa(id)] = sec
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"category": req.Category,
+		"per_clip": out,
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.FormValue(name)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	s := r.FormValue(name)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"otif/internal/detect"
+	"otif/internal/geom"
+	"otif/internal/query"
+	"otif/internal/store"
+)
+
+// queryFixture builds a Server with a two-clip store: clip 0 holds two cars
+// crossing the frame left-to-right, clip 1 holds one bus.
+func queryFixture() (*Server, *store.Store) {
+	car := func(id, startF int, y float64) *query.Track {
+		return &query.Track{
+			ID: id, Category: "car",
+			Dets: []detect.Detection{
+				{FrameIdx: startF, Box: geom.Rect{X: 10, Y: y, W: 40, H: 30}, Category: "car"},
+				{FrameIdx: startF + 40, Box: geom.Rect{X: 560, Y: y, W: 40, H: 30}, Category: "car"},
+			},
+			Path: geom.Path{{X: 30, Y: y + 15}, {X: 580, Y: y + 15}},
+		}
+	}
+	bus := &query.Track{
+		ID: 7, Category: "bus",
+		Dets: []detect.Detection{
+			{FrameIdx: 5, Box: geom.Rect{X: 100, Y: 200, W: 80, H: 50}, Category: "bus"},
+			{FrameIdx: 60, Box: geom.Rect{X: 400, Y: 200, W: 80, H: 50}, Category: "bus"},
+		},
+	}
+	perClip := [][]*query.Track{
+		{car(1, 0, 100), car(2, 20, 160)},
+		{bus},
+	}
+	st := store.New(perClip, query.Context{FPS: 10, NomW: 640, NomH: 360, Frames: 100})
+	srv := &Server{
+		Queries: &QueryAPI{
+			Store: func() *store.Store { return st },
+			Movements: func() []query.Movement {
+				return []query.Movement{{Name: "eastbound", Path: geom.Path{{X: 10, Y: 115}, {X: 600, Y: 115}}}}
+			},
+		},
+	}
+	return srv, st
+}
+
+func doQueryJSON(t *testing.T, srv *Server, method, target, body string) (int, map[string]any) {
+	t.Helper()
+	var req = httptest.NewRequest(method, target, strings.NewReader(body))
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q: %v", method, target, rec.Body.String(), err)
+	}
+	return rec.Code, out
+}
+
+func TestQueryCount(t *testing.T) {
+	srv, st := queryFixture()
+	code, out := doQueryJSON(t, srv, "GET", "/query/count?category=car", "")
+	if code != 200 {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if out["total"].(float64) != 2 {
+		t.Errorf("total = %v, want 2", out["total"])
+	}
+	want := st.CountTracks("car")
+	got := out["per_clip"].([]any)
+	if len(got) != len(want) {
+		t.Fatalf("per_clip length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if int(got[i].(float64)) != want[i] {
+			t.Errorf("clip %d: count %v, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueryBreakdown(t *testing.T) {
+	srv, _ := queryFixture()
+	code, out := doQueryJSON(t, srv, "GET", "/query/breakdown?category=car", "")
+	if code != 200 {
+		t.Fatalf("status = %d, want 200: %v", code, out)
+	}
+	total := out["total"].(map[string]any)
+	if total["eastbound"].(float64) != 2 {
+		t.Errorf("eastbound = %v, want 2", total["eastbound"])
+	}
+}
+
+func TestQueryBreakdownNoMovements(t *testing.T) {
+	srv, _ := queryFixture()
+	srv.Queries.Movements = nil
+	code, _ := doQueryJSON(t, srv, "GET", "/query/breakdown?category=car", "")
+	if code != 404 {
+		t.Errorf("status without movements = %d, want 404", code)
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	srv, st := queryFixture()
+	code, out := doQueryJSON(t, srv, "GET", "/query/limit?category=car&n=2&limit=3&minsep=1", "")
+	if code != 200 {
+		t.Fatalf("status = %d, want 200: %v", code, out)
+	}
+	perClip := out["per_clip"].([]any)
+	want := st.LimitQuery("car", query.CountPredicate{N: 2}, 3, 10)
+	for i, w := range want {
+		if got := perClip[i].([]any); len(got) != len(w) {
+			t.Errorf("clip %d: %d matches, want %d", i, len(got), len(w))
+		}
+	}
+	if len(want[0]) == 0 {
+		t.Fatal("fixture should produce at least one 2-car frame in clip 0")
+	}
+	first := perClip[0].([]any)[0].(map[string]any)
+	if int(first["frame"].(float64)) != want[0][0].FrameIdx {
+		t.Errorf("first match frame %v, want %d", first["frame"], want[0][0].FrameIdx)
+	}
+	if boxes := first["boxes"].([]any); len(boxes) != 2 {
+		t.Errorf("first match has %d boxes, want 2", len(boxes))
+	}
+}
+
+func TestQueryLimitBadParam(t *testing.T) {
+	srv, _ := queryFixture()
+	code, _ := doQueryJSON(t, srv, "GET", "/query/limit?n=two", "")
+	if code != 400 {
+		t.Errorf("status for bad n = %d, want 400", code)
+	}
+}
+
+func TestQueryDwell(t *testing.T) {
+	srv, st := queryFixture()
+	body := `{"category":"car","region":[[-1,-1],[641,-1],[641,361],[-1,361]]}`
+	code, out := doQueryJSON(t, srv, "POST", "/query/dwell", body)
+	if code != 200 {
+		t.Fatalf("status = %d, want 200: %v", code, out)
+	}
+	want := st.DwellTime("car", geom.Polygon{{X: -1, Y: -1}, {X: 641, Y: -1}, {X: 641, Y: 361}, {X: -1, Y: 361}})
+	perClip := out["per_clip"].([]any)
+	for i, w := range want {
+		got := perClip[i].(map[string]any)
+		if len(got) != len(w) {
+			t.Errorf("clip %d: %d dwell entries, want %d", i, len(got), len(w))
+		}
+	}
+	// The whole-frame region must cover both cars of clip 0.
+	if clip0 := perClip[0].(map[string]any); len(clip0) != 2 {
+		t.Errorf("clip 0 dwell entries = %d, want 2", len(clip0))
+	}
+}
+
+func TestQueryDwellBadRegion(t *testing.T) {
+	srv, _ := queryFixture()
+	code, _ := doQueryJSON(t, srv, "POST", "/query/dwell", `{"category":"car","region":[[0,0],[1,1]]}`)
+	if code != 400 {
+		t.Errorf("status for 2-vertex region = %d, want 400", code)
+	}
+	code, _ = doQueryJSON(t, srv, "POST", "/query/dwell", `not json`)
+	if code != 400 {
+		t.Errorf("status for invalid JSON = %d, want 400", code)
+	}
+}
+
+func TestQueryUnavailableStore(t *testing.T) {
+	srv := &Server{Queries: &QueryAPI{Store: func() *store.Store { return nil }}}
+	for _, target := range []string{"/query/count", "/query/breakdown", "/query/limit"} {
+		code, _ := doQueryJSON(t, srv, "GET", target, "")
+		if code != 503 {
+			t.Errorf("GET %s with nil store: status = %d, want 503", target, code)
+		}
+	}
+	code, _ := doQueryJSON(t, srv, "POST", "/query/dwell", `{}`)
+	if code != 503 {
+		t.Errorf("POST /query/dwell with nil store: status = %d, want 503", code)
+	}
+}
+
+func TestQueryRoutesAbsentWithoutAPI(t *testing.T) {
+	srv := &Server{}
+	req := httptest.NewRequest("GET", "/query/count", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 404 {
+		t.Errorf("status without Queries = %d, want 404", rec.Code)
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	GET  /jobs/{id}             one job record (JSON)
 //	GET  /jobs/{id}/events      the job's event stream (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
+//	     /query/*               indexed track queries (see QueryAPI)
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
 type Server struct {
@@ -27,6 +28,8 @@ type Server struct {
 	Registry *obs.Registry
 	// Manager handles the /jobs endpoints; nil serves 404 for them.
 	Manager *Manager
+	// Queries handles the /query endpoints; nil serves 404 for them.
+	Queries *QueryAPI
 	// Ready gates /readyz; nil means always ready.
 	Ready func() bool
 	// Prefix namespaces exported metric names; empty selects DefaultPrefix.
@@ -55,6 +58,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 		mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 		mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	}
+	if s.Queries != nil {
+		s.Queries.register(mux)
 	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

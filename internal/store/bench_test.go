@@ -1,0 +1,84 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"otif/internal/query"
+)
+
+// benchWorkload is a paper-scale clip: many short tracks spread over a
+// long clip, where interval pruning pays off most.
+func benchWorkload() ([][]*query.Track, query.Context) {
+	ctx := query.Context{FPS: 10, NomW: 1280, NomH: 720, Frames: 1800}
+	r := rand.New(rand.NewSource(42))
+	perClip := make([][]*query.Track, 4)
+	for c := range perClip {
+		perClip[c] = genTracks(r, 500, ctx.Frames, ctx)
+	}
+	return perClip, ctx
+}
+
+// BenchmarkLimitQueryIndexed measures the limit query through the interval
+// index; compare with BenchmarkLimitQueryScan for the pruning payoff.
+func BenchmarkLimitQueryIndexed(b *testing.B) {
+	perClip, ctx := benchWorkload()
+	s := New(perClip, ctx)
+	s.LimitQuery("car", query.CountPredicate{N: 3}, 5, ctx.FPS) // build cost out of the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LimitQuery("car", query.CountPredicate{N: 3}, 5, ctx.FPS)
+	}
+}
+
+// BenchmarkLimitQueryScan is the same query as the linear scan over every
+// track at every frame (the pre-index implementation).
+func BenchmarkLimitQueryScan(b *testing.B) {
+	perClip, ctx := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tracks := range perClip {
+			query.LimitQuery(tracks, "car", query.CountPredicate{N: 3}, ctx, 5, ctx.FPS)
+		}
+	}
+}
+
+// BenchmarkDwellIndexed measures region dwell through the grid-pruned
+// incremental interpolator.
+func BenchmarkDwellIndexed(b *testing.B) {
+	perClip, ctx := benchWorkload()
+	s := New(perClip, ctx)
+	region := randRegion(rand.New(rand.NewSource(1)), ctx)
+	s.DwellTime("car", region)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DwellTime("car", region)
+	}
+}
+
+// BenchmarkDwellScan is the same dwell query as the frame-by-frame BoxAt
+// scan.
+func BenchmarkDwellScan(b *testing.B) {
+	perClip, ctx := benchWorkload()
+	region := randRegion(rand.New(rand.NewSource(1)), ctx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tracks := range perClip {
+			query.DwellTime(tracks, "car", region, ctx)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures the one-time cost the index amortizes.
+func BenchmarkIndexBuild(b *testing.B) {
+	perClip, ctx := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(perClip, ctx)
+	}
+}

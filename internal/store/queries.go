@@ -1,0 +1,330 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+
+	"otif/internal/geom"
+	"otif/internal/query"
+)
+
+// sweep is the per-query execution state of one clip's frame sweep: lazy
+// per-track interpolators (so each visible track's detections are walked
+// once per sweep, not once per frame) plus pruning statistics. A sweep is
+// created per query call, so concurrent queries never share state.
+type sweep struct {
+	ci      *clipIndex
+	cat     string
+	mask    []bool // spatial pre-prune; nil = no region constraint
+	interps []query.Interp
+	inited  []bool
+	scratch []int32
+
+	examined, kept, pruned int64
+}
+
+func newSweep(ci *clipIndex, cat string, mask []bool) *sweep {
+	return &sweep{
+		ci:      ci,
+		cat:     cat,
+		mask:    mask,
+		interps: make([]query.Interp, len(ci.tracks)),
+		inited:  make([]bool, len(ci.tracks)),
+	}
+}
+
+// visible implements query.VisibleFunc over the temporal index: only
+// tracks whose frame interval covers f are touched, in ascending track
+// order so results are element-identical to the linear scan.
+func (sw *sweep) visible(f int) ([]geom.Rect, []*query.Track) {
+	cand, examined := sw.ci.active(f, sw.scratch[:0])
+	sw.scratch = cand
+	sw.examined += int64(examined)
+	var boxes []geom.Rect
+	var owners []*query.Track
+	for _, ti := range cand {
+		t := sw.ci.tracks[ti]
+		if sw.cat != "" && t.Category != sw.cat {
+			continue
+		}
+		if sw.mask != nil && !sw.mask[ti] {
+			sw.pruned++
+			continue
+		}
+		sw.kept++
+		if !sw.inited[ti] {
+			sw.interps[ti] = query.NewInterp(t)
+			sw.inited[ti] = true
+		}
+		if b, ok := sw.interps[ti].BoxAt(f); ok {
+			boxes = append(boxes, b)
+			owners = append(owners, t)
+		}
+	}
+	return boxes, owners
+}
+
+// flush publishes the sweep's pruning and box-visit statistics.
+func (sw *sweep) flush() {
+	var boxes int64
+	for i := range sw.interps {
+		boxes += sw.interps[i].Visited
+	}
+	metIndexBoxes.Add(boxes)
+	metCandExamined.Add(sw.examined)
+	metCandKept.Add(sw.kept)
+	metGridPruned.Add(sw.pruned)
+}
+
+// catIndices returns the ascending track indices of one category (all
+// tracks when cat is empty).
+func (ci *clipIndex) catIndices(cat string) []int32 {
+	if cat != "" {
+		return ci.cats[cat]
+	}
+	all := make([]int32, len(ci.tracks))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return all
+}
+
+// ---- Indexed queries (one result element per clip, like TrackSet) ----
+
+// CountTracks counts category tracks per clip from the postings lists.
+func (s *Store) CountTracks(cat string) []int {
+	metQueries.Inc()
+	out := make([]int, len(s.clips))
+	for i := range s.clips {
+		if cat == "" {
+			out[i] = len(s.clips[i].tracks)
+		} else {
+			out[i] = len(s.clips[i].cats[cat])
+		}
+	}
+	s.selfCheck("CountTracks", out, func() any {
+		chk := make([]int, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.CountTracks(s.clips[i].tracks, cat)
+		}
+		return chk
+	})
+	return out
+}
+
+// PathBreakdown classifies category tracks against the movements, walking
+// only the category's postings list.
+func (s *Store) PathBreakdown(cat string, movements []query.Movement, maxEndpointDist float64) []map[string]int {
+	metQueries.Inc()
+	out := make([]map[string]int, len(s.clips))
+	for i := range s.clips {
+		ci := &s.clips[i]
+		m := make(map[string]int, len(movements))
+		for _, mv := range movements {
+			m[mv.Name] = 0
+		}
+		for _, ti := range ci.catIndices(cat) {
+			if name := query.ClassifyPath(ci.tracks[ti].Path, movements, maxEndpointDist); name != "" {
+				m[name]++
+			}
+		}
+		out[i] = m
+	}
+	s.selfCheck("PathBreakdown", out, func() any {
+		chk := make([]map[string]int, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.PathBreakdown(s.clips[i].tracks, cat, movements, maxEndpointDist)
+		}
+		return chk
+	})
+	return out
+}
+
+// VisibleBoxes returns the category boxes visible at one frame of one
+// clip, pruned through the temporal index.
+func (s *Store) VisibleBoxes(clip int, cat string, frameIdx int) ([]geom.Rect, []*query.Track) {
+	metQueries.Inc()
+	sw := newSweep(&s.clips[clip], cat, nil)
+	boxes, owners := sw.visible(frameIdx)
+	sw.flush()
+	if s.SelfCheck {
+		chk, _ := query.VisibleBoxes(s.clips[clip].tracks, cat, frameIdx)
+		if !reflect.DeepEqual(boxes, chk) {
+			metSelfCheckFail.Inc()
+			panic(fmt.Sprintf("store: VisibleBoxes diverged from scan at clip %d frame %d: %v vs %v", clip, frameIdx, boxes, chk))
+		}
+	}
+	return boxes, owners
+}
+
+// LimitQuery runs a frame-level limit query per clip through the indexes.
+// RegionPredicate queries additionally pre-prune candidate tracks through
+// the spatial grid; the predicate then sees only boxes that could satisfy
+// it, which cannot change its matched set.
+func (s *Store) LimitQuery(cat string, pred query.FramePredicate, limit, minSepFrames int) [][]query.FrameMatch {
+	metQueries.Inc()
+	out := make([][]query.FrameMatch, len(s.clips))
+	for i := range s.clips {
+		ci := &s.clips[i]
+		var mask []bool
+		if rp, ok := pred.(query.RegionPredicate); ok {
+			mask = ci.regionCandidates(rp.Region)
+		}
+		sw := newSweep(ci, cat, mask)
+		out[i] = query.LimitQueryFrom(sw.visible, pred, s.ctx, limit, minSepFrames)
+		sw.flush()
+	}
+	s.selfCheck("LimitQuery", out, func() any {
+		chk := make([][]query.FrameMatch, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.LimitQuery(s.clips[i].tracks, cat, pred, s.ctx, limit, minSepFrames)
+		}
+		return chk
+	})
+	return out
+}
+
+// AvgVisible averages the per-frame visible count per clip.
+func (s *Store) AvgVisible(cat string) []float64 {
+	metQueries.Inc()
+	out := make([]float64, len(s.clips))
+	for i := range s.clips {
+		sw := newSweep(&s.clips[i], cat, nil)
+		out[i] = query.AvgVisibleFrom(sw.visible, s.ctx)
+		sw.flush()
+	}
+	s.selfCheck("AvgVisible", out, func() any {
+		chk := make([]float64, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.AvgVisible(s.clips[i].tracks, cat, s.ctx)
+		}
+		return chk
+	})
+	return out
+}
+
+// BusyFrames returns, per clip, frames with at least nA catA objects and
+// nB catB objects.
+func (s *Store) BusyFrames(catA string, nA int, catB string, nB int) [][]int {
+	metQueries.Inc()
+	out := make([][]int, len(s.clips))
+	for i := range s.clips {
+		swA := newSweep(&s.clips[i], catA, nil)
+		swB := newSweep(&s.clips[i], catB, nil)
+		out[i] = query.BusyFramesFrom(swA.visible, nA, swB.visible, nB, s.ctx)
+		swA.flush()
+		swB.flush()
+	}
+	s.selfCheck("BusyFrames", out, func() any {
+		chk := make([][]int, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.BusyFrames(s.clips[i].tracks, catA, nA, catB, nB, s.ctx)
+		}
+		return chk
+	})
+	return out
+}
+
+// CoOccurrences totals frame-wise close pairs per clip.
+func (s *Store) CoOccurrences(cat string, dist float64) []int {
+	metQueries.Inc()
+	out := make([]int, len(s.clips))
+	for i := range s.clips {
+		sw := newSweep(&s.clips[i], cat, nil)
+		out[i] = query.CoOccurrencesFrom(sw.visible, dist, s.ctx)
+		sw.flush()
+	}
+	s.selfCheck("CoOccurrences", out, func() any {
+		chk := make([]int, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.CoOccurrences(s.clips[i].tracks, cat, dist, s.ctx)
+		}
+		return chk
+	})
+	return out
+}
+
+// DwellTime returns, per clip, seconds each category track's interpolated
+// center spends inside the region. The spatial grid prunes tracks whose
+// bounding extent cannot reach the region; surviving tracks are walked
+// once with an incremental interpolator instead of the scan's
+// O(frames x detections) BoxAt loop.
+func (s *Store) DwellTime(cat string, region geom.Polygon) []map[int]float64 {
+	metQueries.Inc()
+	out := make([]map[int]float64, len(s.clips))
+	for i := range s.clips {
+		ci := &s.clips[i]
+		m := map[int]float64{}
+		out[i] = m
+		if s.ctx.FPS <= 0 {
+			continue
+		}
+		mask := ci.regionCandidates(region)
+		var boxes, pruned int64
+		for _, ti := range ci.catIndices(cat) {
+			if !mask[ti] {
+				pruned++
+				continue
+			}
+			t := ci.tracks[ti]
+			ip := query.NewInterp(t)
+			frames := 0
+			for f := t.FirstFrame(); f >= 0 && f <= t.LastFrame(); f++ {
+				if b, ok := ip.BoxAt(f); ok && region.Contains(b.Center()) {
+					frames++
+				}
+			}
+			boxes += ip.Visited
+			if frames > 0 {
+				m[t.ID] = float64(frames) / float64(s.ctx.FPS)
+			}
+		}
+		metIndexBoxes.Add(boxes)
+		metGridPruned.Add(pruned)
+	}
+	s.selfCheck("DwellTime", out, func() any {
+		chk := make([]map[int]float64, len(s.clips))
+		for i := range s.clips {
+			chk[i] = query.DwellTime(s.clips[i].tracks, cat, region, s.ctx)
+		}
+		return chk
+	})
+	return out
+}
+
+// HardBraking returns, per clip, tracks exceeding the deceleration
+// threshold. Track-level queries have no frame sweep to prune, so this
+// delegates to the scan.
+func (s *Store) HardBraking(decelThreshold float64) [][]*query.Track {
+	metQueries.Inc()
+	out := make([][]*query.Track, len(s.clips))
+	for i := range s.clips {
+		out[i] = query.HardBraking(s.clips[i].tracks, s.ctx, decelThreshold)
+	}
+	return out
+}
+
+// Speeding returns, per clip, tracks whose median speed exceeds the
+// threshold (delegated to the scan; track-level).
+func (s *Store) Speeding(threshold float64) [][]*query.Track {
+	metQueries.Inc()
+	out := make([][]*query.Track, len(s.clips))
+	for i := range s.clips {
+		out[i] = query.Speeding(s.clips[i].tracks, s.ctx, threshold)
+	}
+	return out
+}
+
+// selfCheck, in SelfCheck mode, compares an indexed result against the
+// scan recomputation and panics on divergence — the differential fallback
+// that verifies the indexes against the reference implementation.
+func (s *Store) selfCheck(name string, got any, scan func() any) {
+	if !s.SelfCheck {
+		return
+	}
+	want := scan()
+	if !reflect.DeepEqual(got, want) {
+		metSelfCheckFail.Inc()
+		panic(fmt.Sprintf("store: %s diverged from scan:\nindexed: %v\nscan:    %v", name, got, want))
+	}
+}

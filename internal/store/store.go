@@ -1,0 +1,330 @@
+// Package store is OTIF's indexed track store: the query-side counterpart
+// of the pre-processing pipeline. A Store wraps one loaded track set with
+// three read-only indexes built once per clip —
+//
+//   - a temporal interval index in a flat sorted-endpoints layout (track
+//     first/last frames sorted twice, by start and by end, as parallel
+//     int32 arrays) that answers "which tracks are visible at frame f" by
+//     enumerating the smaller of the start-prefix and the end-suffix
+//     instead of touching every track;
+//
+//   - a coarse spatial grid over each track's bounding extent (the union
+//     of its detection boxes, which contains every interpolated box) in
+//     CSR layout, so region queries prune tracks that can never place a
+//     box center inside the region;
+//
+//   - per-category postings lists, so category-filtered queries never
+//     visit tracks of other categories.
+//
+// Query execution shares the scan implementations' cores (the query
+// package's *From variants and InterpBox arithmetic), so every indexed
+// result is bit-identical to the corresponding linear scan — the
+// differential tests in this package assert element-for-element equality,
+// and SelfCheck mode re-runs the scan on every query at runtime.
+//
+// The index arrays hold track indices, not pointers, and are immutable
+// after New returns; a Store is safe for concurrent queries.
+package store
+
+import (
+	"sort"
+
+	"otif/internal/geom"
+	"otif/internal/obs"
+	"otif/internal/query"
+)
+
+// Observability handles. index_boxes counts detection elements examined by
+// indexed queries (the same unit the scans record under query.scan_boxes);
+// candidates_examined / candidates_kept give the temporal index's pruning
+// hit ratio.
+var (
+	metQueries       = obs.Default.Counter("store.queries")
+	metIndexBoxes    = obs.Default.Counter("store.index_boxes")
+	metCandExamined  = obs.Default.Counter("store.candidates_examined")
+	metCandKept      = obs.Default.Counter("store.candidates_kept")
+	metGridPruned    = obs.Default.Counter("store.grid_pruned")
+	metSelfCheckFail = obs.Default.Counter("store.selfcheck_mismatches")
+)
+
+func init() {
+	obs.Default.GaugeFunc("store.index_hit_ratio", func() float64 {
+		ex := metCandExamined.Value()
+		if ex == 0 {
+			return 0
+		}
+		return float64(metCandKept.Value()) / float64(ex)
+	})
+}
+
+// gridCells is the spatial grid resolution per axis. Coarse on purpose:
+// the grid only has to separate far-apart regions, and 64 cells keep the
+// CSR postings small and build time linear.
+const gridCells = 8
+
+// Store indexes one track set for millisecond query execution.
+type Store struct {
+	clips []clipIndex
+	ctx   query.Context
+
+	// SelfCheck, when set before querying, re-runs the linear-scan
+	// implementation alongside every indexed query and panics on any
+	// divergence. It is the differential fallback used by tests and
+	// debugging; production servers leave it off.
+	SelfCheck bool
+}
+
+// clipIndex holds one clip's flat indexes. All arrays are indexed by track
+// position in the clip's slice (the "track index").
+type clipIndex struct {
+	tracks []*query.Track
+
+	// Temporal interval index: starts/ends per track, plus the two
+	// sorted-endpoint views. byStart[i] is the track index with the i-th
+	// smallest first frame; sortedStarts[i] is that first frame (and
+	// likewise for ends). Empty tracks carry start = end = -1 and are
+	// never enumerated as visible.
+	starts, ends []int32
+	byStart      []int32
+	sortedStarts []int32
+	byEnd        []int32
+	sortedEnds   []int32
+
+	// Per-category postings, track indices ascending.
+	cats map[string][]int32
+
+	// Spatial grid in CSR layout over the nominal frame: cellOff has
+	// gridCells*gridCells+1 entries; cellPost[cellOff[c]:cellOff[c+1]]
+	// lists the tracks whose bounding extent intersects cell c.
+	cellW, cellH float64
+	cellOff      []int32
+	cellPost     []int32
+
+	// bounds is each track's bounding extent (union of detection boxes).
+	bounds []geom.Rect
+}
+
+// New builds the indexes over a loaded track set. perClip is retained (not
+// copied); tracks must not be mutated afterwards.
+func New(perClip [][]*query.Track, ctx query.Context) *Store {
+	s := &Store{clips: make([]clipIndex, len(perClip)), ctx: ctx}
+	for c, tracks := range perClip {
+		s.clips[c] = buildClipIndex(tracks, ctx)
+	}
+	return s
+}
+
+// Context returns the clip geometry the store was built with.
+func (s *Store) Context() query.Context { return s.ctx }
+
+// Clips returns the number of indexed clips.
+func (s *Store) Clips() int { return len(s.clips) }
+
+// Tracks returns one clip's track slice (shared, read-only).
+func (s *Store) Tracks(clip int) []*query.Track { return s.clips[clip].tracks }
+
+func buildClipIndex(tracks []*query.Track, ctx query.Context) clipIndex {
+	n := len(tracks)
+	ci := clipIndex{
+		tracks:  tracks,
+		starts:  make([]int32, n),
+		ends:    make([]int32, n),
+		byStart: make([]int32, n),
+		byEnd:   make([]int32, n),
+		cats:    make(map[string][]int32),
+		bounds:  make([]geom.Rect, n),
+	}
+	for i, t := range tracks {
+		if len(t.Dets) == 0 {
+			// Inverted interval: never enumerated as visible.
+			ci.starts[i], ci.ends[i] = 0, -1
+		} else {
+			ci.starts[i] = int32(t.FirstFrame())
+			ci.ends[i] = int32(t.LastFrame())
+		}
+		ci.byStart[i] = int32(i)
+		ci.byEnd[i] = int32(i)
+		ci.cats[t.Category] = append(ci.cats[t.Category], int32(i))
+		var b geom.Rect
+		for _, d := range t.Dets {
+			b = b.Union(d.Box)
+		}
+		ci.bounds[i] = b
+	}
+	sort.Slice(ci.byStart, func(a, b int) bool {
+		sa, sb := ci.starts[ci.byStart[a]], ci.starts[ci.byStart[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return ci.byStart[a] < ci.byStart[b]
+	})
+	sort.Slice(ci.byEnd, func(a, b int) bool {
+		ea, eb := ci.ends[ci.byEnd[a]], ci.ends[ci.byEnd[b]]
+		if ea != eb {
+			return ea < eb
+		}
+		return ci.byEnd[a] < ci.byEnd[b]
+	})
+	ci.sortedStarts = make([]int32, n)
+	ci.sortedEnds = make([]int32, n)
+	for i := range ci.byStart {
+		ci.sortedStarts[i] = ci.starts[ci.byStart[i]]
+		ci.sortedEnds[i] = ci.ends[ci.byEnd[i]]
+	}
+	ci.buildGrid(ctx)
+	return ci
+}
+
+// buildGrid fills the CSR spatial grid from the track bounding extents.
+func (ci *clipIndex) buildGrid(ctx query.Context) {
+	w, h := float64(ctx.NomW), float64(ctx.NomH)
+	if w <= 0 || h <= 0 {
+		// No geometry (e.g. a v1 file loaded without options): degenerate
+		// single-cell grid, spatial pruning disabled.
+		w, h = 1, 1
+	}
+	ci.cellW = w / gridCells
+	ci.cellH = h / gridCells
+	nc := gridCells * gridCells
+	counts := make([]int32, nc)
+	for i := range ci.tracks {
+		if ci.bounds[i].Empty() && len(ci.tracks[i].Dets) == 0 {
+			continue
+		}
+		x0, y0, x1, y1 := ci.cellRange(ci.bounds[i])
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				counts[cy*gridCells+cx]++
+			}
+		}
+	}
+	ci.cellOff = make([]int32, nc+1)
+	for c := 0; c < nc; c++ {
+		ci.cellOff[c+1] = ci.cellOff[c] + counts[c]
+	}
+	ci.cellPost = make([]int32, ci.cellOff[nc])
+	fill := make([]int32, nc)
+	for i := range ci.tracks {
+		if ci.bounds[i].Empty() && len(ci.tracks[i].Dets) == 0 {
+			continue
+		}
+		x0, y0, x1, y1 := ci.cellRange(ci.bounds[i])
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				c := cy*gridCells + cx
+				ci.cellPost[ci.cellOff[c]+fill[c]] = int32(i)
+				fill[c]++
+			}
+		}
+	}
+}
+
+// cellRange maps a rectangle to the inclusive grid cell range it touches,
+// clamped to the grid.
+func (ci *clipIndex) cellRange(r geom.Rect) (x0, y0, x1, y1 int) {
+	x0 = clampCell(int(r.X / ci.cellW))
+	y0 = clampCell(int(r.Y / ci.cellH))
+	x1 = clampCell(int(r.MaxX() / ci.cellW))
+	y1 = clampCell(int(r.MaxY() / ci.cellH))
+	return
+}
+
+func clampCell(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= gridCells {
+		return gridCells - 1
+	}
+	return c
+}
+
+// searchInt32 returns the smallest i in [0, len(a)) with a[i] >= v, or
+// len(a) — the lower bound over a sorted int32 slice.
+func searchInt32(a []int32, v int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// active appends to out the indices of tracks visible at frame f (start <=
+// f <= end), ascending, enumerating whichever sorted-endpoint side is
+// smaller. It reports how many candidates it examined.
+func (ci *clipIndex) active(f int, out []int32) (result []int32, examined int) {
+	n := len(ci.tracks)
+	if n == 0 {
+		return out, 0
+	}
+	f32 := int32(f)
+	// Tracks with start <= f form a prefix of byStart; tracks with
+	// end >= f form a suffix of byEnd.
+	nStartLE := searchInt32(ci.sortedStarts, f32+1)
+	nEndGE := n - searchInt32(ci.sortedEnds, f32)
+	if nStartLE <= nEndGE {
+		for _, ti := range ci.byStart[:nStartLE] {
+			if ci.ends[ti] >= f32 {
+				out = append(out, ti)
+			}
+		}
+		examined = nStartLE
+	} else {
+		for _, ti := range ci.byEnd[n-nEndGE:] {
+			if ci.starts[ti] <= f32 {
+				out = append(out, ti)
+			}
+		}
+		examined = nEndGE
+	}
+	sortInt32(out)
+	return out, examined
+}
+
+// sortInt32 sorts a small int32 slice ascending (insertion sort: candidate
+// sets are small and often nearly sorted already).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// regionCandidates returns a per-track membership mask of tracks whose
+// bounding extent intersects the region's bounding rectangle, using the
+// spatial grid. Tracks outside the mask can never place an interpolated
+// box center inside the region (every interpolated box lies within the
+// union of the track's detection boxes).
+func (ci *clipIndex) regionCandidates(region geom.Polygon) []bool {
+	mask := make([]bool, len(ci.tracks))
+	rb := region.Bounds()
+	x0, y0, x1, y1 := ci.cellRange(rb)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			c := cy*gridCells + cx
+			for _, ti := range ci.cellPost[ci.cellOff[c]:ci.cellOff[c+1]] {
+				if !mask[ti] && overlapsClosed(ci.bounds[ti], rb) {
+					mask[ti] = true
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// overlapsClosed reports closed-interval rectangle overlap. Unlike
+// Rect.Intersects it admits zero-area contact (touching edges, degenerate
+// boxes), which the pruning mask needs to stay strictly conservative.
+func overlapsClosed(a, b geom.Rect) bool {
+	return a.X <= b.MaxX() && b.X <= a.MaxX() && a.Y <= b.MaxY() && b.Y <= a.MaxY()
+}

@@ -180,6 +180,7 @@ func (p *Pipeline) ExtractContext(ctx context.Context, cfg Config, set SetName) 
 	return &TrackSet{
 		PerClip: res.PerClip,
 		Runtime: res.Runtime,
+		Dataset: p.sys.DS.Name,
 		ctx:     p.sys.Ctx(),
 	}, nil
 }

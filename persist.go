@@ -26,36 +26,102 @@ func (p *Pipeline) LoadModels(r io.Reader) error {
 	return persist.LoadModels(r, p.sys)
 }
 
-// WriteTo serializes the track set in OTIF's binary track format; n is the
-// number of bytes written. Stored tracks reload with ReadTrackSet and
-// answer queries without any re-processing.
+// WriteTo serializes the track set in OTIF's self-describing binary track
+// format (v2): the header records frame rate, nominal geometry, frames
+// per clip and dataset name, so the file reloads with ReadTrackSet and
+// zero positional arguments. n is the number of bytes written.
 func (ts *TrackSet) WriteTo(w io.Writer) (n int64, err error) {
 	cw := &countWriter{w: w}
-	err = persist.WriteTracks(cw, ts.PerClip)
+	err = persist.WriteTracksV2(cw, ts.PerClip, persist.TrackMeta{
+		FPS:     ts.ctx.FPS,
+		NomW:    ts.ctx.NomW,
+		NomH:    ts.ctx.NomH,
+		Frames:  ts.ctx.Frames,
+		Dataset: ts.Dataset,
+	})
 	return cw.n, err
 }
 
-// ReadTrackSet loads a stored track set. The context parameters (frame
-// rate and geometry) must describe the clips the tracks were extracted
-// from; the pipeline's Ctx supplies them for its own datasets.
-func ReadTrackSet(r io.Reader, fps, nomW, nomH, framesPerClip int) (*TrackSet, error) {
-	perClip, err := persist.ReadTracks(r)
+// TrackSetOption adjusts how a stored track set is loaded. Options exist
+// for legacy v1 files, whose headers carry no clip geometry; v2 files are
+// self-describing and need none. An explicitly passed option overrides the
+// file header either way.
+type TrackSetOption func(*trackSetConfig)
+
+type trackSetConfig struct {
+	fps, nomW, nomH, frames int
+	dataset                 string
+}
+
+// WithFPS supplies the clip frame rate for files whose header lacks it.
+func WithFPS(fps int) TrackSetOption {
+	return func(c *trackSetConfig) { c.fps = fps }
+}
+
+// WithGeometry supplies the nominal frame dimensions.
+func WithGeometry(nomW, nomH int) TrackSetOption {
+	return func(c *trackSetConfig) { c.nomW, c.nomH = nomW, nomH }
+}
+
+// WithFramesPerClip supplies the clip length in frames.
+func WithFramesPerClip(frames int) TrackSetOption {
+	return func(c *trackSetConfig) { c.frames = frames }
+}
+
+// WithDatasetName labels the loaded set with its dataset name.
+func WithDatasetName(name string) TrackSetOption {
+	return func(c *trackSetConfig) { c.dataset = name }
+}
+
+// ReadTrackSet loads a stored track set. Files written by WriteTo (format
+// v2) are self-describing: the clip geometry comes from the file header
+// and no options are needed. Legacy v1 files carry no header metadata;
+// pass WithFPS / WithGeometry / WithFramesPerClip so frame-window and
+// region queries know the clip geometry (loading succeeds without them,
+// but frame sweeps see zero-length clips). Explicit options override the
+// header.
+func ReadTrackSet(r io.Reader, opts ...TrackSetOption) (*TrackSet, error) {
+	perClip, meta, err := persist.ReadTracksAuto(r)
 	if err != nil {
 		return nil, err
 	}
+	var cfg trackSetConfig
+	if meta != nil {
+		cfg = trackSetConfig{
+			fps: meta.FPS, nomW: meta.NomW, nomH: meta.NomH,
+			frames: meta.Frames, dataset: meta.Dataset,
+		}
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return &TrackSet{
 		PerClip: perClip,
+		Dataset: cfg.dataset,
 		ctx: query.Context{
-			FPS: fps, NomW: nomW, NomH: nomH, Frames: framesPerClip,
+			FPS: cfg.fps, NomW: cfg.nomW, NomH: cfg.nomH, Frames: cfg.frames,
 		},
 	}, nil
 }
 
+// ReadTrackSetLegacy loads a stored track set with positional context
+// arguments.
+//
+// Deprecated: use ReadTrackSet. v2 files need no arguments at all; for v1
+// files pass WithFPS, WithGeometry and WithFramesPerClip.
+func ReadTrackSetLegacy(r io.Reader, fps, nomW, nomH, framesPerClip int) (*TrackSet, error) {
+	return ReadTrackSet(r,
+		WithFPS(fps), WithGeometry(nomW, nomH), WithFramesPerClip(framesPerClip))
+}
+
 // ReadTrackSetFor loads a stored track set with the pipeline's clip
-// geometry.
+// geometry (overriding any file header, so the set always matches the
+// pipeline's datasets).
 func (p *Pipeline) ReadTrackSetFor(r io.Reader) (*TrackSet, error) {
 	ctx := p.sys.Ctx()
-	return ReadTrackSet(r, ctx.FPS, ctx.NomW, ctx.NomH, ctx.Frames)
+	return ReadTrackSet(r,
+		WithFPS(ctx.FPS), WithGeometry(ctx.NomW, ctx.NomH),
+		WithFramesPerClip(ctx.Frames), WithDatasetName(p.sys.DS.Name))
 }
 
 type countWriter struct {

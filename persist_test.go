@@ -106,6 +106,94 @@ func TestTrackSetPersistence(t *testing.T) {
 	}
 }
 
+// TestTrackSetV2SelfDescribing asserts the format-v2 contract: a file
+// written by WriteTo reloads with zero positional arguments, carrying its
+// clip geometry and dataset name in the header, and answers queries
+// identically to the original set.
+func TestTrackSetV2SelfDescribing(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ts.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := otif.ReadTrackSet(bytes.NewReader(buf.Bytes())) // no options
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != "caldot1" {
+		t.Errorf("Dataset from header = %q, want caldot1", got.Dataset)
+	}
+	a, b := ts.CountTracks("car"), got.CountTracks("car")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("clip %d: %d vs %d car tracks", i, a[i], b[i])
+		}
+	}
+	// Frame-window queries must work without any caller-supplied context:
+	// the header's geometry drives the sweep.
+	la := ts.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	lb := got.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	for i := range la {
+		if len(la[i]) != len(lb[i]) {
+			t.Errorf("clip %d: limit query %d vs %d matches on header-described set", i, len(la[i]), len(lb[i]))
+		}
+	}
+}
+
+// TestTrackSetV1Compat asserts a v1 track file (written by the pre-v2
+// positional format) still round-trips through the new loader, both via
+// options and via the deprecated legacy wrapper.
+func TestTrackSetV1Compat(t *testing.T) {
+	pipe, curve := pipeline(t)
+	pick, err := otif.PickFastestWithin(curve, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := pipe.Extract(pick.Cfg, otif.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := otif.WriteTrackSetV1ForTest(&v1, ts); err != nil {
+		t.Fatal(err)
+	}
+	sys := pipe.System()
+	ctx := sys.Ctx()
+
+	got, err := otif.ReadTrackSet(bytes.NewReader(v1.Bytes()),
+		otif.WithFPS(ctx.FPS), otif.WithGeometry(ctx.NomW, ctx.NomH),
+		otif.WithFramesPerClip(ctx.Frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := otif.ReadTrackSetLegacy(bytes.NewReader(v1.Bytes()),
+		ctx.FPS, ctx.NomW, ctx.NomH, ctx.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ts.CountTracks("")
+	for i, w := range want {
+		if got.CountTracks("")[i] != w || leg.CountTracks("")[i] != w {
+			t.Errorf("clip %d: v1 reload counts diverge", i)
+		}
+	}
+	la := ts.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	lb := got.LimitQuery("car", otif.CountPredicate{N: 1}, 3, 1)
+	for i := range la {
+		if len(la[i]) != len(lb[i]) {
+			t.Errorf("clip %d: v1 reload limit query diverges", i)
+		}
+	}
+}
+
 func TestSaveModelsBeforeTrainErrors(t *testing.T) {
 	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
 	if err != nil {

@@ -1,0 +1,131 @@
+package otif
+
+import "otif/internal/query"
+
+// TrackQuery is a fluent builder over a TrackSet's indexed store: it
+// replaces the sprawl of per-query method signatures with one chain of
+// constraints followed by a terminal that picks the result shape.
+//
+//	counts := ts.Query().Category("car").Count()
+//	frames := ts.Query().Category("car").InRegion(poly).MinCount(2).Limit(5).Frames()
+//	dwell  := ts.Query().Category("bus").InRegion(junction).Dwell()
+//
+// Builders are cheap value carriers; each terminal executes one indexed
+// query and returns per-clip results in set order, bit-identical to the
+// linear-scan implementations. A builder is single-use per terminal call
+// but may call several terminals (each re-executes).
+type TrackQuery struct {
+	ts        *TrackSet
+	cat       string
+	region    Polygon
+	hasRegion bool
+	hotRadius float64
+	hotN      int
+	minCount  int
+	limit     int
+	minSepSec float64
+	movements []Movement
+	maxDist   float64
+}
+
+// Query starts a query over the track set with defaults: all categories,
+// whole frame, at least one object, up to 10 result frames, no minimum
+// separation.
+func (ts *TrackSet) Query() *TrackQuery {
+	return &TrackQuery{ts: ts, minCount: 1, limit: 10}
+}
+
+// Category restricts the query to one object category (empty = all).
+func (q *TrackQuery) Category(cat string) *TrackQuery {
+	q.cat = cat
+	return q
+}
+
+// InRegion restricts frame matches (Frames) and dwell accounting (Dwell)
+// to object centers inside the polygon.
+func (q *TrackQuery) InRegion(region Polygon) *TrackQuery {
+	q.region = region
+	q.hasRegion = true
+	return q
+}
+
+// HotSpot makes Frames match frames where at least n object centers fall
+// within some circle of the given radius (overrides InRegion for the
+// frame predicate).
+func (q *TrackQuery) HotSpot(radius float64, n int) *TrackQuery {
+	q.hotRadius = radius
+	q.hotN = n
+	return q
+}
+
+// MinCount sets the minimum number of qualifying objects per matched
+// frame (default 1).
+func (q *TrackQuery) MinCount(n int) *TrackQuery {
+	q.minCount = n
+	return q
+}
+
+// Limit caps the number of frames Frames returns per clip (default 10).
+func (q *TrackQuery) Limit(n int) *TrackQuery {
+	q.limit = n
+	return q
+}
+
+// MinSep requires at least sec seconds between returned frames.
+func (q *TrackQuery) MinSep(sec float64) *TrackQuery {
+	q.minSepSec = sec
+	return q
+}
+
+// Movements supplies the labeled movements (and endpoint tolerance) for
+// Breakdown.
+func (q *TrackQuery) Movements(movements []Movement, maxEndpointDist float64) *TrackQuery {
+	q.movements = movements
+	q.maxDist = maxEndpointDist
+	return q
+}
+
+// predicate assembles the frame predicate the constraints imply.
+func (q *TrackQuery) predicate() query.FramePredicate {
+	switch {
+	case q.hotN > 0:
+		return query.HotSpotPredicate{Radius: q.hotRadius, N: q.hotN}
+	case q.hasRegion:
+		return query.RegionPredicate{Region: q.region, N: q.minCount}
+	default:
+		return query.CountPredicate{N: q.minCount}
+	}
+}
+
+// ---- Terminals (one indexed query each, per-clip results) ----
+
+// Count returns the number of matching tracks per clip.
+func (q *TrackQuery) Count() []int {
+	return q.ts.Index().CountTracks(q.cat)
+}
+
+// Frames runs the frame-level limit query implied by the constraints:
+// region and hot-spot constraints become the frame predicate, MinCount
+// the per-frame threshold, Limit/MinSep the result shaping.
+func (q *TrackQuery) Frames() [][]FrameMatch {
+	minSep := int(q.minSepSec * float64(q.ts.ctx.FPS))
+	return q.ts.Index().LimitQuery(q.cat, q.predicate(), q.limit, minSep)
+}
+
+// Dwell returns, per clip, seconds each matching track's center spends
+// inside the region set with InRegion (keyed by track ID).
+func (q *TrackQuery) Dwell() []map[int]float64 {
+	return q.ts.Index().DwellTime(q.cat, q.region)
+}
+
+// AvgVisible returns, per clip, the average number of matching objects
+// visible per frame.
+func (q *TrackQuery) AvgVisible() []float64 {
+	return q.ts.Index().AvgVisible(q.cat)
+}
+
+// Breakdown classifies matching tracks against the movements set with
+// Movements and returns per-clip counts per movement name.
+func (q *TrackQuery) Breakdown() []map[string]int {
+	return q.ts.Index().PathBreakdown(q.cat, q.movements, q.maxDist)
+}

@@ -1,20 +1,33 @@
 package otif
 
 import (
+	"sync"
+
 	"otif/internal/geom"
 	"otif/internal/query"
+	"otif/internal/store"
 )
 
 // TrackSet is the output of one extraction pass: per-clip object tracks
-// plus the simulated execution cost. All subsequent queries are answered by
-// scanning these tracks — no video decoding or model inference.
+// plus the simulated execution cost. All subsequent queries are answered
+// from the stored tracks — no video decoding or model inference. Query
+// methods execute through a lazily built indexed store (see Index), which
+// prunes candidate tracks through temporal, spatial and category indexes
+// while returning results bit-identical to a linear scan.
 type TrackSet struct {
 	// PerClip holds the extracted tracks of each clip in set order.
 	PerClip [][]*query.Track
 	// Runtime is the simulated extraction cost in seconds.
 	Runtime float64
+	// Dataset is the name of the dataset the tracks were extracted from
+	// (stored in the v2 file header; empty for v1 files loaded without
+	// WithDatasetName).
+	Dataset string
 
 	ctx query.Context
+
+	idxOnce sync.Once
+	idx     *store.Store
 }
 
 // Track is one stored object track.
@@ -26,96 +39,72 @@ type Movement = query.Movement
 // FrameMatch is one frame returned by a limit query.
 type FrameMatch = query.FrameMatch
 
+// Index returns the set's indexed track store, building it on first use.
+// The store holds a per-clip temporal interval index, a coarse spatial
+// grid over track extents and per-category postings lists; every TrackSet
+// query method and the otifd /query/* endpoints execute through it. The
+// returned store is safe for concurrent queries.
+func (ts *TrackSet) Index() *store.Store {
+	ts.idxOnce.Do(func() {
+		ts.idx = store.New(ts.PerClip, ts.ctx)
+	})
+	return ts.idx
+}
+
 // CountTracks returns, per clip, the number of tracks of the category
 // (empty for all categories). This answers the paper's track count query.
 func (ts *TrackSet) CountTracks(category string) []int {
-	out := make([]int, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.CountTracks(tracks, category)
-	}
-	return out
+	return ts.Query().Category(category).Count()
 }
 
 // PathBreakdown counts, per clip, the category tracks following each
 // movement (the turning-movement count query).
 func (ts *TrackSet) PathBreakdown(category string, movements []Movement, maxEndpointDist float64) []map[string]int {
-	out := make([]map[string]int, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.PathBreakdown(tracks, category, movements, maxEndpointDist)
-	}
-	return out
+	return ts.Query().Category(category).Movements(movements, maxEndpointDist).Breakdown()
 }
 
 // HardBraking returns, per clip, the tracks whose maximum deceleration
 // exceeds the threshold in nominal pixels per second squared (example
 // exploratory query (1) of §3).
 func (ts *TrackSet) HardBraking(decelThreshold float64) [][]*Track {
-	out := make([][]*Track, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.HardBraking(tracks, ts.ctx, decelThreshold)
-	}
-	return out
+	return ts.Index().HardBraking(decelThreshold)
 }
 
 // AvgVisible returns, per clip, the average number of category objects
 // visible per frame (example exploratory query (3)).
 func (ts *TrackSet) AvgVisible(category string) []float64 {
-	out := make([]float64, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.AvgVisible(tracks, category, ts.ctx)
-	}
-	return out
+	return ts.Query().Category(category).AvgVisible()
 }
 
 // BusyFrames returns, per clip, the frames with at least nA objects of
 // catA and nB objects of catB visible (example exploratory query (2)).
 func (ts *TrackSet) BusyFrames(catA string, nA int, catB string, nB int) [][]int {
-	out := make([][]int, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.BusyFrames(tracks, catA, nA, catB, nB, ts.ctx)
-	}
-	return out
+	return ts.Index().BusyFrames(catA, nA, catB, nB)
 }
 
 // LimitQuery runs a frame-level limit query per clip: up to limit frames
 // satisfying pred, at least minSepSec apart.
 func (ts *TrackSet) LimitQuery(category string, pred query.FramePredicate, limit int, minSepSec float64) [][]FrameMatch {
 	minSep := int(minSepSec * float64(ts.ctx.FPS))
-	out := make([][]FrameMatch, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.LimitQuery(tracks, category, pred, ts.ctx, limit, minSep)
-	}
-	return out
+	return ts.Index().LimitQuery(category, pred, limit, minSep)
 }
 
 // Speeding returns, per clip, the tracks whose median speed exceeds the
 // threshold in nominal pixels per second.
 func (ts *TrackSet) Speeding(threshold float64) [][]*Track {
-	out := make([][]*Track, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.Speeding(tracks, ts.ctx, threshold)
-	}
-	return out
+	return ts.Index().Speeding(threshold)
 }
 
 // DwellTime returns, per clip, seconds each category track spends inside
 // the region (keyed by track ID).
 func (ts *TrackSet) DwellTime(category string, region geom.Polygon) []map[int]float64 {
-	out := make([]map[int]float64, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.DwellTime(tracks, category, region, ts.ctx)
-	}
-	return out
+	return ts.Query().Category(category).InRegion(region).Dwell()
 }
 
 // CoOccurrences returns, per clip, the total count of frame-wise pairs of
 // category objects within dist of each other.
 func (ts *TrackSet) CoOccurrences(category string, dist float64) []int {
-	out := make([]int, len(ts.PerClip))
-	for i, tracks := range ts.PerClip {
-		out[i] = query.CoOccurrences(tracks, category, dist, ts.ctx)
-	}
-	return out
+	return ts.Index().CoOccurrences(category, dist)
 }
 
 // SpeedStats summarizes one track's motion.
