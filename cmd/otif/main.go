@@ -32,12 +32,14 @@ func main() {
 		queryF   = flag.String("query-tracks", "", "load a stored track file and answer queries from it, skipping the pipeline entirely")
 		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
+		prefetch = flag.Int("prefetch", otif.Prefetch(), "decode-ahead depth in frames (<= 0 disables); results are identical at any setting")
 		metricsF = flag.Bool("metrics", false, "print the metrics registry (text form) after the run")
 		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
 	otif.SetCacheMB(*cacheMB)
+	otif.SetPrefetch(*prefetch)
 	if *traceOut != "" {
 		otif.EnableTracing(0)
 	}

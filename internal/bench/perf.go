@@ -8,16 +8,18 @@ import (
 	"testing"
 
 	"otif/internal/nn"
+	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/video"
 )
 
 // This file implements `benchtables -perf`: a machine-readable performance
-// report over the zero-allocation inference kernels and the end-to-end
-// extraction path, with and without the frame cache. The report is what
-// BENCH_PR2.json in the repository root is generated from; CI and humans
-// read it to confirm the kernels stay allocation-free and the cache pays
-// for itself.
+// report over the zero-allocation inference kernels (scalar and batched),
+// and the end-to-end extraction path — with and without the frame cache,
+// and with and without the decode-ahead prefetcher. The report is what
+// BENCH_PR2.json / BENCH_PR6.json in the repository root are generated
+// from; CI and humans read it to confirm the kernels stay allocation-free
+// and the cache, pools and prefetcher pay for themselves.
 
 // PerfRecord is one benchmark result.
 type PerfRecord struct {
@@ -36,6 +38,20 @@ type PerfCacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// PerfPoolStats summarizes per-clip pool traffic during the cached
+// end-to-end benchmark run: hits are reuses, misses are fresh
+// constructions. High hit rates mean clip execution runs on recycled
+// buffers at steady state.
+type PerfPoolStats struct {
+	TrackScratchHit  int64   `json:"track_scratch_hit"`
+	TrackScratchMiss int64   `json:"track_scratch_miss"`
+	DetectArenaHit   int64   `json:"detect_arena_hit"`
+	DetectArenaMiss  int64   `json:"detect_arena_miss"`
+	DetectScratchHit int64   `json:"detect_scratch_hit"`
+	DetectScratchMis int64   `json:"detect_scratch_miss"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
 // PerfReport is the full report emitted by Perf.
 type PerfReport struct {
 	Dataset string         `json:"dataset"`
@@ -43,6 +59,40 @@ type PerfReport struct {
 	Seconds float64        `json:"clip_seconds"`
 	Records []PerfRecord   `json:"records"`
 	Cache   PerfCacheStats `json:"cache"`
+	Pools   PerfPoolStats  `json:"pools"`
+}
+
+// poolCounters reads the per-clip pool counters from the process metrics
+// registry. Perf diffs two reads to isolate one benchmark's traffic.
+func poolCounters() PerfPoolStats {
+	c := obs.Default.Snapshot().Counters
+	return PerfPoolStats{
+		TrackScratchHit:  c["track.pool.scratch.hit"],
+		TrackScratchMiss: c["track.pool.scratch.miss"],
+		DetectArenaHit:   c["detect.pool.arena.hit"],
+		DetectArenaMiss:  c["detect.pool.arena.miss"],
+		DetectScratchHit: c["detect.pool.scratch.hit"],
+		DetectScratchMis: c["detect.pool.scratch.miss"],
+	}
+}
+
+// diff returns p minus base, with the aggregate hit rate recomputed over
+// the difference.
+func (p PerfPoolStats) diff(base PerfPoolStats) PerfPoolStats {
+	d := PerfPoolStats{
+		TrackScratchHit:  p.TrackScratchHit - base.TrackScratchHit,
+		TrackScratchMiss: p.TrackScratchMiss - base.TrackScratchMiss,
+		DetectArenaHit:   p.DetectArenaHit - base.DetectArenaHit,
+		DetectArenaMiss:  p.DetectArenaMiss - base.DetectArenaMiss,
+		DetectScratchHit: p.DetectScratchHit - base.DetectScratchHit,
+		DetectScratchMis: p.DetectScratchMis - base.DetectScratchMis,
+	}
+	hits := d.TrackScratchHit + d.DetectArenaHit + d.DetectScratchHit
+	total := hits + d.TrackScratchMiss + d.DetectArenaMiss + d.DetectScratchMis
+	if total > 0 {
+		d.HitRate = float64(hits) / float64(total)
+	}
+	return d
 }
 
 func record(name string, fn func(b *testing.B)) PerfRecord {
@@ -137,12 +187,67 @@ func (s *Suite) Perf(w io.Writer, name string) error {
 		}),
 	}
 
-	// End-to-end extraction, serial, cache off then on. The cache budget is
-	// restored afterwards, and a fresh cache is installed before the cached
-	// run so the reported hit rate covers exactly that run.
+	// Batched vs. per-row scalar kernels at a representative batch of 16
+	// (roughly the active-track count of a busy frame). The batched rows
+	// must be allocation-free and beat their per-row equivalents; both
+	// produce bit-identical outputs (pinned by internal/nn tests).
+	const batchRows = 16
+	xb32 := nn.NewVec(batchRows * 32)
+	for i := range xb32 {
+		xb32[i] = rng.Float64()
+	}
+	hb16 := nn.NewVec(batchRows * 16)
+	xb7 := nn.NewVec(batchRows * 7)
+	for i := range xb7 {
+		xb7[i] = rng.Float64()
+	}
+	records = append(records,
+		record("DenseApplyBatchInto16", func(b *testing.B) {
+			dst := nn.NewVec(batchRows * 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += dense.ApplyBatchInto(dst, xb32, batchRows)[0]
+			}
+		}),
+		record("DenseApplyIntoPerRow16", func(b *testing.B) {
+			dst := nn.NewVec(batchRows * 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < batchRows; r++ {
+					sink += dense.ApplyInto(dst[r*32:(r+1)*32], xb32[r*32:(r+1)*32])[0]
+				}
+			}
+		}),
+		record("GRUStepBatchInferInto16", func(b *testing.B) {
+			var scr nn.BatchScratch
+			gru.StepBatchInferInto(hb16, hb16, xb7, batchRows, &scr) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += gru.StepBatchInferInto(hb16, hb16, xb7, batchRows, &scr)[0]
+			}
+		}),
+		record("GRUStepInferIntoPerRow16", func(b *testing.B) {
+			var scr nn.Scratch
+			gru.StepInferInto(hb16[:16], hb16[:16], xb7[:7], &scr) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < batchRows; r++ {
+					sink += gru.StepInferInto(hb16[r*16:(r+1)*16], hb16[r*16:(r+1)*16], xb7[r*7:(r+1)*7], &scr)[0]
+				}
+			}
+		}),
+	)
+
+	// End-to-end extraction, serial: cache off, then cache on (prefetch at
+	// its default depth in both), then cache on with prefetch disabled.
+	// The cache budget and prefetch depth are restored afterwards, and a
+	// fresh cache is installed before the cached run so the reported hit
+	// rate covers exactly that run. Pool counters are diffed around the
+	// cached run for the same reason.
 	prevWorkers := parallel.Workers()
 	parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prevWorkers)
+	defer video.SetPrefetchDepth(video.DefaultPrefetchDepth)
 	cfg := t.Sys.Best
 	clips := t.Sys.DS.Val
 
@@ -153,12 +258,20 @@ func (s *Suite) Perf(w io.Writer, name string) error {
 		}
 	}))
 	video.SetCacheBudget(video.DefaultCacheBytes)
+	pool0 := poolCounters()
 	records = append(records, record("RunSetCacheOn", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sink += t.Sys.RunSet(cfg, clips).Runtime
 		}
 	}))
 	cs := video.GlobalCacheStats()
+	ps := poolCounters().diff(pool0)
+	video.SetPrefetchDepth(0)
+	records = append(records, record("RunSetPrefetchOff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += t.Sys.RunSet(cfg, clips).Runtime
+		}
+	}))
 	_ = sink
 
 	rep := PerfReport{
@@ -172,6 +285,7 @@ func (s *Suite) Perf(w io.Writer, name string) error {
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
 		},
+		Pools: ps,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -38,8 +38,21 @@ type ClipResult struct {
 // tracker's sampling gap selects frames; on each sampled frame the proxy
 // model (if enabled) chooses detector windows; the detector produces
 // detections; the tracker associates them into tracks. Costs are charged
-// to acct.
+// to acct. The result's DetsByFrame retains every frame's detections (for
+// training-data collection); RunSet uses the pooled internal variant that
+// skips that retention and recycles per-clip buffers instead.
 func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountant) *ClipResult {
+	return s.runClip(context.Background(), cfg, clip, acct, false)
+}
+
+// runClip is RunClip with a context bounding the reader's decode-ahead
+// producer and an option to run in pooled mode. Pooled mode is for callers
+// that only need the tracks: detection slices are carved from a pooled
+// arena, analysis scratch is recycled, and DetsByFrame is not populated.
+// Pooling is safe because trackers copy Detection values into track-owned
+// slices — nothing in the returned result aliases pooled memory — and it
+// never changes results.
+func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct *costmodel.Accountant, pooled bool) *ClipResult {
 	detW, detH := cfg.DetRes(s.DS.Cfg.NomW, s.DS.Cfg.NomH)
 	detector := &detect.Detector{
 		Cfg: detect.Config{
@@ -50,6 +63,11 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 		Background: s.Background,
 		Classify:   s.Classifier,
 		Acct:       acct,
+	}
+	if pooled {
+		detector.Arena = detect.GetArena()
+		defer detector.Arena.Release()
+		defer detector.Release()
 	}
 
 	var ws *proxy.WindowSet
@@ -68,7 +86,10 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 	}
 
 	tracker := s.newTracker(cfg, acct)
-	res := &ClipResult{DetsByFrame: map[int][]detect.Detection{}}
+	res := &ClipResult{}
+	if !pooled {
+		res.DetsByFrame = map[int][]detect.Detection{}
+	}
 
 	// One grid allocation per clip, reused by every processed frame.
 	var grid *proxy.Grid
@@ -88,15 +109,21 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 		} else {
 			dets = detector.Detect(frame, idx)
 		}
-		res.DetsByFrame[idx] = dets
+		if res.DetsByFrame != nil {
+			res.DetsByFrame[idx] = dets
+		}
 		tracker.Update(&track.FrameContext{FrameIdx: idx, GapFrames: gapUsed}, dets)
 	}
 
 	rec, _ := tracker.(*track.RecurrentTracker)
 	if cfg.VariableGap && rec != nil {
+		// The variable-rate policy picks each next index from the previous
+		// round's confidence, so there is no fixed sequence to decode ahead
+		// of; it reads synchronously.
 		s.runVariable(cfg, clip, detW, detH, acct, rec, processFrame)
 	} else {
-		reader := video.NewReader(clip, cfg.Gap, detW, detH, acct)
+		reader := video.NewReaderContext(ctx, clip, cfg.Gap, detW, detH, acct)
+		defer reader.Close()
 		for {
 			frame, idx := reader.Next()
 			if frame == nil {
@@ -310,10 +337,10 @@ func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset
 	defer setSpan.End()
 	err := parallel.ForContext(ctx, len(clips), func(i int) {
 		ct := clips[i]
-		_, clipSpan := obs.StartSpan(ctx, "run.clip")
+		clipCtx, clipSpan := obs.StartSpan(ctx, "run.clip")
 		defer clipSpan.End()
 		acct := costmodel.NewAccountant()
-		res := s.RunClip(cfg, ct.Clip, acct)
+		res := s.runClip(clipCtx, cfg, ct.Clip, acct, true)
 		out.PerClip[i] = s.QueryTracks(cfg, res.Tracks, ct.Clip.Len())
 		shards[i] = acct
 		s.Progress.Emit(obs.Event{

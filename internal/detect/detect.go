@@ -162,26 +162,58 @@ type Config struct {
 // used by one goroutine at a time (every call site in this repository
 // constructs detectors per worker); the models it points to (background,
 // classifier, accountant) remain safely shareable.
+//
+// The scratch is drawn lazily from a geometry-keyed pool; owners that run
+// one detector per clip should call Release when the clip finishes so the
+// next clip reuses the grown buffers. Detectors that are never Released
+// still work — their scratch is simply collected.
 type Detector struct {
 	Cfg        Config
 	Background *BackgroundModel
 	Classify   Classifier
 	Acct       *costmodel.Accountant
 
-	scratch analyzeScratch
+	// Arena, when non-nil, owns every detection slice this detector
+	// returns: results stay valid until the arena's Release, instead of
+	// being independent heap allocations. The pooled clip-execution path
+	// sets it; a nil arena preserves plain heap semantics.
+	Arena *Arena
+
+	scratch *analyzeScratch
 }
 
 // analyzeScratch holds the per-invocation buffers of analyze and
 // connectedComponents, reused across calls to keep the per-frame hot path
 // allocation-free. mask and diff are cleared at the start of every analyze
 // call: analyze only writes the region it inspects, while the component
-// scan reads the whole plane.
+// scan reads the whole plane. dets and win carry each call's detections
+// until they are copied out (into the arena or the heap).
 type analyzeScratch struct {
 	mask   []bool
 	diff   []float64
 	labels []int32
 	stack  []int
 	comps  []component
+	dets   []Detection
+	win    []Detection
+}
+
+// scratchFor returns the detector's analysis scratch, acquiring one from
+// the geometry-keyed pool (sized for a plane of the given pixel count) on
+// first use.
+func (d *Detector) scratchFor(pixels int) *analyzeScratch {
+	if d.scratch == nil {
+		d.scratch = getAnalyzeScratch(pixels)
+	}
+	return d.scratch
+}
+
+// Release returns the detector's pooled scratch. The detector remains
+// usable (a fresh scratch is acquired on the next call); call it when the
+// detector's clip is done.
+func (d *Detector) Release() {
+	putAnalyzeScratch(d.scratch)
+	d.scratch = nil
 }
 
 // minComponentPixels is the smallest connected component (in analysis
@@ -199,19 +231,26 @@ func (d *Detector) diffThreshold() float64 {
 }
 
 // Detect runs the detector on the whole frame, charging cost for one
-// full-frame invocation at the configured input resolution.
+// full-frame invocation at the configured input resolution. The returned
+// slice is arena-owned when the detector has an Arena (valid until its
+// Release), and a fresh heap slice otherwise; empty results are nil either
+// way.
 func (d *Detector) Detect(frame *video.Frame, frameIdx int) []Detection {
 	metInvocations.Inc()
 	d.Acct.Add(costmodel.OpDetect,
 		costmodel.DetectCost(d.Cfg.Arch.PerPixelCost(), d.Cfg.Width, d.Cfg.Height))
-	dets := d.analyze(frame, frameIdx, geom.Rect{}, frame.Bounds())
+	dets := d.analyze(nil, frame, frameIdx, geom.Rect{}, frame.Bounds())
+	if d.scratch != nil {
+		d.scratch.dets = dets[:0]
+	}
 	metDetections.Add(int64(len(dets)))
-	return dets
+	return d.Arena.take(dets)
 }
 
 // DetectWindows runs the detector inside each window (nominal coordinates),
 // charging per-window cost at the window's share of the configured input
 // resolution, and merges duplicate detections across overlapping windows.
+// Result ownership matches Detect's.
 func (d *Detector) DetectWindows(frame *video.Frame, frameIdx int, windows []geom.Rect) []Detection {
 	metInvocations.Inc()
 	metWindows.Add(int64(len(windows)))
@@ -228,18 +267,28 @@ func (d *Detector) DetectWindows(frame *video.Frame, frameIdx int, windows []geo
 			h = 1
 		}
 		d.Acct.Add(costmodel.OpDetect, costmodel.DetectCost(d.Cfg.Arch.PerPixelCost(), w, h))
-		all = append(all, d.analyze(frame, frameIdx, win, win)...)
+		all = d.analyze(all, frame, frameIdx, win, win)
 	}
-	out := dedupe(all)
+	var out []Detection
+	if d.scratch != nil {
+		out = dedupeInto(d.scratch.win[:0], all)
+		d.scratch.win = out[:0]
+		d.scratch.dets = all[:0]
+	} else {
+		out = dedupeInto(nil, all)
+	}
 	metDetections.Add(int64(len(out)))
-	return out
+	return d.Arena.take(out)
 }
 
 // analyze performs background subtraction inside region (nominal coords;
-// empty means full frame) at the detector's effective analysis resolution.
-func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom.Rect) []Detection {
+// empty means full frame) at the detector's effective analysis resolution,
+// appending detections to dst. When dst is nil the scratch's detection
+// buffer is used, so the result is only valid until the next detector
+// call; Detect/DetectWindows copy it out before returning.
+func (d *Detector) analyze(dst []Detection, frame *video.Frame, frameIdx int, region, bounds geom.Rect) []Detection {
 	if d.Background == nil {
-		return nil
+		return dst
 	}
 	// Effective stored analysis resolution: the detector input resolution
 	// expressed as a fraction of nominal, applied to the stored buffer.
@@ -261,9 +310,11 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 	img := video.CachedDownsample(frame, aw, ah)
 	bg := d.Background.At(aw, ah)
 
-	// Compensate the global brightness flicker.
-	imgMean, _ := img.MeanStd(geom.Rect{})
-	bgMean, _ := bg.MeanStd(geom.Rect{})
+	// Compensate the global brightness flicker. img and bg are shared
+	// read-only planes (cached downsample, background model), so their
+	// full-frame stats memoize on the frame.
+	imgMean, _ := img.SharedMeanStd()
+	bgMean, _ := bg.SharedMeanStd()
 	offset := imgMean - bgMean
 
 	// Restrict analysis to the region (in analysis pixels).
@@ -282,22 +333,29 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 	}
 
 	thresh := d.diffThreshold()
-	mask := growSlice(&d.scratch.mask, aw*ah)
-	diff := growSlice(&d.scratch.diff, aw*ah)
+	s := d.scratchFor(aw * ah)
+	if dst == nil {
+		dst = s.dets[:0]
+	}
+	mask := growSlice(&s.mask, aw*ah)
+	diff := growSlice(&s.diff, aw*ah)
 	clear(mask)
 	clear(diff)
 	for y := y0; y < y1; y++ {
+		ip := img.Pix[y*aw : (y+1)*aw]
+		bp := bg.Pix[y*aw : (y+1)*aw]
+		dr := diff[y*aw : (y+1)*aw]
+		mr := mask[y*aw : (y+1)*aw]
 		for x := x0; x < x1; x++ {
-			dv := math.Abs(float64(img.Pix[y*aw+x]) - float64(bg.Pix[y*aw+x]) - offset)
-			diff[y*aw+x] = dv
+			dv := math.Abs(float64(ip[x]) - float64(bp[x]) - offset)
+			dr[x] = dv
 			if dv > thresh {
-				mask[y*aw+x] = true
+				mr[x] = true
 			}
 		}
 	}
 
-	comps := connectedComponentsInto(&d.scratch, mask, diff, aw, ah)
-	var dets []Detection
+	comps := connectedComponentsInto(s, mask, diff, aw, ah)
 	sxN := float64(frame.NomW) / float64(aw)
 	syN := float64(frame.NomH) / float64(ah)
 	for _, c := range comps {
@@ -322,12 +380,12 @@ func (d *Detector) analyze(frame *video.Frame, frameIdx int, region, bounds geom
 			cat = d.Classify.Classify(box)
 		}
 		mean, std := frame.MeanStd(box)
-		dets = append(dets, Detection{
+		dst = append(dst, Detection{
 			FrameIdx: frameIdx, Box: box, Score: score, Category: cat,
 			AppMean: mean, AppStd: std,
 		})
 	}
-	return dets
+	return dst
 }
 
 // scoreOf maps a component's mean difference strength and size into a
@@ -456,21 +514,27 @@ func connectedComponentsInto(s *analyzeScratch, mask []bool, diff []float64, w, 
 // dedupe merges detections from overlapping windows: boxes with IoU > 0.5
 // keep only the higher-scoring one.
 func dedupe(dets []Detection) []Detection {
+	return dedupeInto(nil, dets)
+}
+
+// dedupeInto is dedupe appending the surviving detections to dst (dets is
+// sorted in place by score).
+func dedupeInto(dst, dets []Detection) []Detection {
 	sort.Slice(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
-	var out []Detection
+	base := len(dst)
 	for _, d := range dets {
 		dup := false
-		for _, k := range out {
+		for _, k := range dst[base:] {
 			if d.Box.IoU(k.Box) > 0.5 {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, d)
+			dst = append(dst, d)
 		}
 	}
-	return out
+	return dst
 }
 
 func clampInt(v, lo, hi int) int {

@@ -1,0 +1,101 @@
+package nn
+
+import "fmt"
+
+// This file implements the batched inference tier: the same kernels as
+// ApplyInto / StepInferInto evaluated over a row-major batch matrix, so one
+// call advances every active track of a frame instead of N small
+// matrix-vector products. Batching amortizes call overhead and streams each
+// weight row once per layer application instead of once per track.
+//
+// Bit-identical contract: for every (row, output unit) pair the batched
+// kernels accumulate the dot product over inputs in the same index order as
+// the scalar kernels, apply the same activation, and combine gates with the
+// same expressions — so batched and scalar outputs are bit-for-bit equal.
+// The differential tests in batch_test.go pin this.
+
+// BatchScratch holds reusable buffers for the batched inference kernels.
+// A scratch is owned by exactly one goroutine; every kernel call overwrites
+// its buffers. The zero value is ready to use — buffers grow monotonically
+// on first use and are reused afterwards, so steady-state calls allocate
+// nothing.
+type BatchScratch struct {
+	hx, rh, rhx, z, r, c Vec // flat row-major gate matrices
+}
+
+// ApplyBatchInto computes the layer output for rows input vectors stored
+// row-major in x (len rows*In), writing the row-major result into dst
+// (len rows*Out) and returning dst. Row b of the output is bit-identical
+// to ApplyInto applied to row b of the input: each output unit accumulates
+// its dot product over inputs in ascending index order. It allocates
+// nothing and reads only the weights, so concurrent calls on a shared
+// layer are safe as long as each goroutine owns its dst. dst must not
+// alias x. rows == 0 is a no-op.
+func (d *Dense) ApplyBatchInto(dst, x Vec, rows int) Vec {
+	if len(x) != rows*d.In {
+		panic(fmt.Sprintf("nn: dense batch expected input %d x %d, got len %d", rows, d.In, len(x)))
+	}
+	if len(dst) != rows*d.Out {
+		panic(fmt.Sprintf("nn: dense batch expected output buffer %d x %d, got len %d", rows, d.Out, len(dst)))
+	}
+	// Row-outer order: output rows are written sequentially and each input
+	// row is sliced once. The layers here are small enough that the whole
+	// weight matrix sits in L1 across iterations, so streaming weights
+	// row-by-row per batch row costs nothing, and the per-dot accumulation
+	// order (ascending j) — which is what the bit-identity contract pins —
+	// is unchanged.
+	for b := 0; b < rows; b++ {
+		xb := x[b*d.In : (b+1)*d.In]
+		db := dst[b*d.Out : (b+1)*d.Out]
+		for i := 0; i < d.Out; i++ {
+			row := d.W[i*d.In : (i+1)*d.In]
+			var s float64
+			for j, w := range row {
+				s += w * xb[j]
+			}
+			db[i] = d.Act.apply(s + d.B[i])
+		}
+	}
+	return dst
+}
+
+// StepBatchInferInto advances rows hidden states by one input each. h holds
+// the hidden states row-major (len rows*HiddenSize), x the inputs row-major
+// (len rows*InSize); the new states are written row-major into dst
+// (len rows*HiddenSize), which is returned. dst may alias h (the common
+// in-place update), but must not alias a scratch buffer. All intermediates
+// live in the scratch, so steady-state calls allocate nothing. Row b of the
+// result is bit-identical to StepInferInto applied to row b of (h, x).
+func (g *GRUCell) StepBatchInferInto(dst, h, x Vec, rows int, s *BatchScratch) Vec {
+	n, in := g.HiddenSize, g.InSize
+	if len(h) != rows*n {
+		panic(fmt.Sprintf("nn: gru batch expected hidden %d x %d, got len %d", rows, n, len(h)))
+	}
+	if len(x) != rows*in {
+		panic(fmt.Sprintf("nn: gru batch expected input %d x %d, got len %d", rows, in, len(x)))
+	}
+	if len(dst) != rows*n {
+		panic(fmt.Sprintf("nn: gru batch expected output buffer %d x %d, got len %d", rows, n, len(dst)))
+	}
+	hx := growVec(&s.hx, rows*(n+in))
+	for b := 0; b < rows; b++ {
+		copy(hx[b*(n+in):], h[b*n:(b+1)*n])
+		copy(hx[b*(n+in)+n:], x[b*in:(b+1)*in])
+	}
+	z := g.Wz.ApplyBatchInto(growVec(&s.z, rows*n), hx, rows)
+	r := g.Wr.ApplyBatchInto(growVec(&s.r, rows*n), hx, rows)
+	rh := growVec(&s.rh, rows*n)
+	for i := range rh {
+		rh[i] = r[i] * h[i]
+	}
+	rhx := growVec(&s.rhx, rows*(n+in))
+	for b := 0; b < rows; b++ {
+		copy(rhx[b*(n+in):], rh[b*n:(b+1)*n])
+		copy(rhx[b*(n+in)+n:], x[b*in:(b+1)*in])
+	}
+	c := g.Wc.ApplyBatchInto(growVec(&s.c, rows*n), rhx, rows)
+	for i := 0; i < rows*n; i++ {
+		dst[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	return dst
+}

@@ -239,12 +239,13 @@ func (s MetricsSnapshot) WriteText(w io.Writer) error {
 // run once per metric at package init; the returned handles record
 // lock-free. The zero value is not usable; construct with NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	costs    map[string]*FloatCounter
-	gauges   map[string]*Gauge
-	gaugeFns map[string]func() float64
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	costs       map[string]*FloatCounter
+	gauges      map[string]*Gauge
+	gaugeFns    map[string]func() float64
+	gaugeGroups []func() map[string]float64
+	hists       map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -303,6 +304,20 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.gaugeFns[name] = fn
 }
 
+// GaugeGroup registers a set of live gauges computed together: at snapshot
+// time fn runs once and every (name, value) pair it returns becomes a
+// gauge. Use it when several gauges derive from one state snapshot and
+// must be mutually consistent — e.g. the frame cache's hit count, miss
+// count and hit rate, where evaluating three independent GaugeFuncs would
+// interleave with concurrent updates and could report a rate computed
+// from counts no single moment ever had. fn must be safe to call at any
+// time from any goroutine.
+func (r *Registry) GaugeGroup(fn func() map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeGroups = append(r.gaugeGroups, fn)
+}
+
 // Histogram returns the named histogram, creating it with the given
 // sorted bucket upper bounds on first use (bounds of an existing
 // histogram are kept).
@@ -341,6 +356,11 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	}
 	for k, fn := range r.gaugeFns {
 		s.Gauges[k] = fn()
+	}
+	for _, fn := range r.gaugeGroups {
+		for k, v := range fn() {
+			s.Gauges[k] = v
+		}
 	}
 	for k, h := range r.hists {
 		hs := HistogramSnapshot{

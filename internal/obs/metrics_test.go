@@ -102,6 +102,31 @@ func TestGaugeFunc(t *testing.T) {
 	}
 }
 
+func TestGaugeGroup(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.GaugeGroup(func() map[string]float64 {
+		calls++
+		// All values derive from one read of `calls`, so a snapshot always
+		// sees a mutually consistent pair.
+		return map[string]float64{
+			"grp.count":   float64(calls),
+			"grp.doubled": float64(2 * calls),
+		}
+	})
+	s := r.Snapshot()
+	if calls != 1 {
+		t.Errorf("group evaluated %d times per snapshot, want 1", calls)
+	}
+	if s.Gauges["grp.count"] != 1 || s.Gauges["grp.doubled"] != 2 {
+		t.Errorf("group gauges = %v, %v, want 1, 2", s.Gauges["grp.count"], s.Gauges["grp.doubled"])
+	}
+	s = r.Snapshot()
+	if s.Gauges["grp.count"] != 2 || s.Gauges["grp.doubled"] != 4 {
+		t.Errorf("second snapshot group gauges = %v, %v, want 2, 4", s.Gauges["grp.count"], s.Gauges["grp.doubled"])
+	}
+}
+
 func TestConcurrentCountersCommute(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c")

@@ -136,8 +136,8 @@ func (m *Model) forEachCell(frame *video.Frame, bg *detect.BackgroundModel, visi
 		// The brightness offset is only meaningful against a background;
 		// without one the full-frame mean would go unused, so skip the pass.
 		bgImg = bg.At(aw, ah)
-		imgMean, _ := img.MeanStd(geom.Rect{})
-		bgMean, _ := bgImg.MeanStd(geom.Rect{})
+		imgMean, _ := img.SharedMeanStd()
+		bgMean, _ := bgImg.SharedMeanStd()
 		offset = imgMean - bgMean
 	}
 

@@ -45,8 +45,9 @@ type PairTracker struct {
 	done   []*Track
 
 	// scratch makes each Update round allocation-free; it also means a
-	// tracker instance must be driven by a single goroutine.
-	scratch matchScratch
+	// tracker instance must be driven by a single goroutine. It is drawn
+	// from the scratch pool on first Update and released by Finish.
+	scratch *matchScratch
 }
 
 type pairTrack struct {
@@ -70,7 +71,10 @@ func (p *PairTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 		return
 	}
 	m := p.Model
-	s := &p.scratch
+	if p.scratch == nil {
+		p.scratch = getScratch()
+	}
+	s := p.scratch
 	const blocked = 1e6
 	maxDisp := p.MaxSpeed*float64(ctx.GapFrames)/float64(m.FPS) + 0.08*float64(m.NomW)
 	cost := growMatrix(&s.cost, &s.costBuf, len(p.active), len(dets))
@@ -138,6 +142,8 @@ func (p *PairTracker) Finish() []*Track {
 	p.active = nil
 	out := p.done
 	p.done = nil
+	putScratch(p.scratch)
+	p.scratch = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstFrame() < out[j].FirstFrame() })
 	for i, t := range out {
 		t.ID = i

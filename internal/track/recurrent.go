@@ -76,8 +76,9 @@ type RecurrentTracker struct {
 	lastConf float64
 
 	// scratch makes each Update round allocation-free; it also means a
-	// tracker instance must be driven by a single goroutine.
-	scratch matchScratch
+	// tracker instance must be driven by a single goroutine. It is drawn
+	// from the scratch pool on first Update and released by Finish.
+	scratch *matchScratch
 }
 
 type recTrack struct {
@@ -98,17 +99,25 @@ func NewRecurrentTracker(model *RecurrentModel, acct *costmodel.Accountant) *Rec
 	}
 }
 
+// scratchRef returns the tracker's scratch, acquiring one from the pool
+// on first use.
+func (r *RecurrentTracker) scratchRef() *matchScratch {
+	if r.scratch == nil {
+		r.scratch = getScratch()
+	}
+	return r.scratch
+}
+
 // Update implements Tracker.
 func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 	metUpdates.Inc()
 	m := r.Model
-	s := &r.scratch
+	s := r.scratchRef()
+	batched := batchedGRU.Load()
 	r.lastConf = 1
 	feats := s.detFeatureRows(dets, m.NomW, m.NomH, m.FPS, ctx.GapFrames)
 	if len(r.active) == 0 {
-		for _, d := range dets {
-			r.start(d)
-		}
+		r.startAll(dets, nil, batched)
 		return
 	}
 
@@ -139,6 +148,12 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 
 	usedDet := grow(&s.usedDet, len(dets))
 	clear(usedDet)
+	// The hidden-state updates of matched tracks are independent of this
+	// round's decisions (the cost matrix is already built), so the batched
+	// path defers them: the match loop gathers (track, detection) pairs and
+	// one StepBatchInferInto advances every hidden state afterwards.
+	batchTracks := s.batchTracks[:0]
+	batchDet := s.batchDet[:0]
 	active := r.active
 	remaining := r.active[:0] // in-place filter; reads stay ahead of writes
 	for i, tr := range active {
@@ -157,9 +172,23 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 			r.lastConf = p
 		}
 		tr.track.Dets = append(tr.track.Dets, dets[j])
-		m.GRU.StepInferInto(tr.hidden, tr.hidden, feats[j], &s.nn)
+		if batched {
+			batchTracks = append(batchTracks, tr)
+			batchDet = append(batchDet, j)
+		} else {
+			m.GRU.StepInferInto(tr.hidden, tr.hidden, feats[j], &s.nn)
+		}
 		tr.misses = 0
 		remaining = append(remaining, tr)
+	}
+	s.batchTracks, s.batchDet = batchTracks, batchDet
+	if len(batchTracks) > 0 {
+		r.stepMatched(batchTracks, feats, batchDet)
+		// Drop the gathered references so the pooled scratch never pins
+		// finished tracks.
+		for i := range batchTracks {
+			batchTracks[i] = nil
+		}
 	}
 	// Drop dangling pointers in the filtered-out suffix so dead tracks can
 	// be collected.
@@ -167,10 +196,73 @@ func (r *RecurrentTracker) Update(ctx *FrameContext, dets []detect.Detection) {
 		active[i] = nil
 	}
 	r.active = remaining
-	for j, d := range dets {
-		if !usedDet[j] {
-			r.start(d)
+	r.startAll(dets, usedDet, batched)
+}
+
+// stepMatched advances the hidden states of the gathered matched tracks in
+// one batched GRU step: hidden states and matched detection features are
+// packed row-major, stepped together, and scattered back. Each row is
+// bit-identical to the scalar StepInferInto the non-batched path runs.
+func (r *RecurrentTracker) stepMatched(tracks []*recTrack, feats []nn.Vec, det []int) {
+	s := r.scratch
+	n := r.Model.Hidden
+	rows := len(tracks)
+	hB := growVec(&s.hB, rows*n)
+	xB := grow(&s.xB, rows*FeatDim)
+	for b, tr := range tracks {
+		copy(hB[b*n:(b+1)*n], tr.hidden)
+		copy(xB[b*FeatDim:(b+1)*FeatDim], feats[det[b]])
+	}
+	r.Model.GRU.StepBatchInferInto(hB, hB, nn.Vec(xB), rows, &s.batch)
+	for b, tr := range tracks {
+		copy(tr.hidden, hB[b*n:(b+1)*n])
+	}
+}
+
+// startAll opens a track for every unmatched detection (usedDet == nil
+// means all detections are unmatched). The batched path folds all the
+// first GRU steps — zero hidden state, t_elapsed = 0 features, matching
+// how training prefixes begin — into one StepBatchInferInto call.
+func (r *RecurrentTracker) startAll(dets []detect.Detection, usedDet []bool, batched bool) {
+	if !batched {
+		for j, d := range dets {
+			if usedDet == nil || !usedDet[j] {
+				r.start(d)
+			}
 		}
+		return
+	}
+	s := r.scratch
+	m := r.Model
+	n := m.Hidden
+	xB := s.xB[:0]
+	rows := 0
+	for j, d := range dets {
+		if usedDet != nil && usedDet[j] {
+			continue
+		}
+		xB = AppendDetFeatures(xB, d, m.NomW, m.NomH, m.FPS, 0)
+		rows++
+	}
+	s.xB = xB
+	if rows == 0 {
+		return
+	}
+	hB := growVec(&s.hB, rows*n)
+	clear(hB) // new tracks step from the zero hidden state
+	m.GRU.StepBatchInferInto(hB, hB, nn.Vec(xB), rows, &s.batch)
+	b := 0
+	for j, d := range dets {
+		if usedDet != nil && usedDet[j] {
+			continue
+		}
+		h := s.arena.alloc(n)
+		copy(h, hB[b*n:(b+1)*n])
+		b++
+		r.active = append(r.active, &recTrack{
+			track:  Track{Dets: []detect.Detection{d}},
+			hidden: h,
+		})
 	}
 }
 
@@ -187,11 +279,12 @@ func (m *RecurrentModel) scoreWith(s *matchScratch, h, f, motion nn.Vec) float64
 
 // start opens a new track. The first detection's feature uses
 // t_elapsed = 0, matching how training prefixes begin. The hidden vector
-// is freshly allocated — it is retained state owned by the track.
+// is retained state owned by the track, drawn from the scratch arena
+// (tracks never outlive their tracker's Finish).
 func (r *RecurrentTracker) start(d detect.Detection) {
-	s := &r.scratch
+	s := r.scratchRef()
 	s.startFeat = AppendDetFeatures(s.startFeat[:0], d, r.Model.NomW, r.Model.NomH, r.Model.FPS, 0)
-	h := nn.NewVec(r.Model.Hidden)
+	h := s.arena.alloc(r.Model.Hidden)
 	r.Model.GRU.StepInferInto(h, h, nn.Vec(s.startFeat), &s.nn)
 	r.active = append(r.active, &recTrack{
 		track:  Track{Dets: []detect.Detection{d}},
@@ -216,6 +309,10 @@ func (r *RecurrentTracker) Finish() []*Track {
 	r.active = nil
 	out := r.done
 	r.done = nil
+	// All tracks are cloned; nothing references the scratch arena's hidden
+	// vectors anymore, so the scratch can recycle.
+	putScratch(r.scratch)
+	r.scratch = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstFrame() < out[j].FirstFrame() })
 	for i, t := range out {
 		t.ID = i

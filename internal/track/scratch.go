@@ -46,9 +46,13 @@ func growMatrix(rows *[][]float64, buf *[]float64, n, m int) [][]float64 {
 }
 
 // matchScratch is the per-tracker working storage of one Update round.
+// Instances are recycled through the scratch pool (see pool.go): trackers
+// acquire one lazily on first Update and release it in Finish, so clips
+// executed back to back reuse fully grown buffers.
 type matchScratch struct {
-	nn     nn.Scratch    // matching-MLP and GRU buffers
-	assign AssignScratch // Hungarian working storage
+	nn     nn.Scratch      // matching-MLP and GRU buffers
+	assign AssignScratch   // Hungarian working storage
+	batch  nn.BatchScratch // batched-GRU gate matrices
 
 	featBuf   []float64   // flat per-detection feature matrix
 	feats     []nn.Vec    // row views into featBuf
@@ -58,6 +62,19 @@ type matchScratch struct {
 	costBuf   []float64   // flat cost-matrix backing
 	cost      [][]float64 // row views into costBuf
 	usedDet   []bool
+
+	// Batched-inference gather buffers: matched tracks and their detection
+	// indices, plus the flat row-major hidden/feature matrices handed to
+	// GRUCell.StepBatchInferInto.
+	batchTracks []*recTrack
+	batchDet    []int
+	hB          nn.Vec
+	xB          []float64
+
+	// arena backs the hidden vectors of started tracks; it is released
+	// when the scratch returns to the pool (tracker Finish), after which
+	// no track referencing those vectors exists.
+	arena vecArena
 }
 
 // detFeatureRows fills the scratch's flat feature matrix with one

@@ -23,6 +23,11 @@ type SORT struct {
 
 	active []*sortTrack
 	done   []*Track
+
+	// scratch makes each Update round allocation-free; it also means a
+	// tracker instance must be driven by a single goroutine. It is drawn
+	// from the scratch pool on first Update and released by Finish.
+	scratch *matchScratch
 }
 
 type sortTrack struct {
@@ -41,6 +46,15 @@ func (s *sortTrack) predict(gapFrames int) geom.Rect {
 	return last.Translate(s.vx*dt, s.vy*dt)
 }
 
+// scratchRef returns the tracker's scratch, acquiring one from the pool
+// on first use.
+func (s *SORT) scratchRef() *matchScratch {
+	if s.scratch == nil {
+		s.scratch = getScratch()
+	}
+	return s.scratch
+}
+
 // Update implements Tracker.
 func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
 	metUpdates.Inc()
@@ -50,11 +64,11 @@ func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
 		}
 		return
 	}
+	sc := s.scratchRef()
 	const blocked = 1e6
-	cost := make([][]float64, len(s.active))
+	cost := growMatrix(&sc.cost, &sc.costBuf, len(s.active), len(dets))
 	for i, tr := range s.active {
 		pred := tr.predict(ctx.GapFrames)
-		cost[i] = make([]float64, len(dets))
 		for j, d := range dets {
 			iou := pred.IoU(d.Box)
 			if iou < s.MinIoU {
@@ -64,11 +78,13 @@ func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
 			}
 		}
 	}
-	assign := AssignWithThreshold(cost, 1-s.MinIoU, blocked)
+	assign := sc.assign.AssignWithThreshold(cost, 1-s.MinIoU, blocked)
 
-	usedDet := make([]bool, len(dets))
-	var remaining []*sortTrack
-	for i, tr := range s.active {
+	usedDet := grow(&sc.usedDet, len(dets))
+	clear(usedDet)
+	active := s.active
+	remaining := s.active[:0] // in-place filter; reads stay ahead of writes
+	for i, tr := range active {
 		j := assign[i]
 		if j < 0 {
 			tr.misses++
@@ -82,6 +98,11 @@ func (s *SORT) Update(ctx *FrameContext, dets []detect.Detection) {
 		usedDet[j] = true
 		tr.absorb(dets[j], ctx.GapFrames)
 		remaining = append(remaining, tr)
+	}
+	// Drop dangling pointers in the filtered-out suffix so dead tracks can
+	// be collected.
+	for i := len(remaining); i < len(active); i++ {
+		active[i] = nil
 	}
 	s.active = remaining
 	for j, d := range dets {
@@ -119,6 +140,8 @@ func (s *SORT) Finish() []*Track {
 	s.active = nil
 	out := s.done
 	s.done = nil
+	putScratch(s.scratch)
+	s.scratch = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstFrame() < out[j].FirstFrame() })
 	for i, t := range out {
 		t.ID = i

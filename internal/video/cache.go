@@ -74,15 +74,20 @@ type cacheShard struct {
 	bytes   int64
 	head    *cacheEntry // most recently used
 	tail    *cacheEntry // least recently used
+
+	// Effectiveness counters live under the shard lock rather than as
+	// cache-global atomics, so Stats can read every counter of a shard
+	// together with its byte/entry state in one consistent snapshot
+	// instead of four racing loads.
+	hits, misses, evictions uint64
 }
 
 // Cache is a bounded, sharded LRU frame cache. The zero value is not
 // usable; construct with NewCache. A nil *Cache is a valid "disabled"
 // cache whose lookups always compute.
 type Cache struct {
-	perShard                int64
-	shards                  [cacheShardCount]cacheShard
-	hits, misses, evictions atomic.Uint64
+	perShard int64
+	shards   [cacheShardCount]cacheShard
 }
 
 // NewCache creates a cache with the given total byte budget, split evenly
@@ -117,12 +122,12 @@ func (c *Cache) get(key cacheKey, compute func() *Frame) *Frame {
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
 		sh.moveFront(e)
+		sh.hits++
 		sh.mu.Unlock()
-		c.hits.Add(1)
 		return e.f
 	}
+	sh.misses++
 	sh.mu.Unlock()
-	c.misses.Add(1)
 
 	f := compute()
 	size := int64(len(f.Pix)) + cacheEntryOverhead
@@ -144,7 +149,7 @@ func (c *Cache) get(key cacheKey, compute func() *Frame) *Frame {
 		sh.unlink(ev)
 		delete(sh.entries, ev.key)
 		sh.bytes -= ev.size
-		c.evictions.Add(1)
+		sh.evictions++
 	}
 	sh.mu.Unlock()
 	return f
@@ -164,19 +169,22 @@ func (c *Cache) Downsample(f *Frame, w, h int) *Frame {
 		func() *Frame { return f.Downsample(w, h) })
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns one consistent snapshot of all cache counters: every
+// shard's hit/miss/eviction counts and byte/entry state are read together
+// under that shard's lock, so the returned struct never mixes a hit count
+// from one moment with a miss count from another (the race that separate
+// atomic loads had).
 func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	s := CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-	}
+	var s CacheStats
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Evictions += sh.evictions
 		s.Bytes += sh.bytes
 		s.Entries += int64(len(sh.entries))
 		sh.mu.Unlock()
@@ -230,16 +238,24 @@ func init() {
 	SetCacheBudget(DefaultCacheBytes)
 
 	// Cache effectiveness surfaces as registry gauges, evaluated lazily at
-	// snapshot time so the hot path pays nothing for them. Hit/miss counts
-	// depend on worker interleaving (two workers can race to miss the same
-	// key), so these gauges are observational and excluded from determinism
+	// snapshot time so the hot path pays nothing for them. All six values
+	// derive from ONE GlobalCacheStats call per snapshot, so they are
+	// mutually consistent — in particular cache.hit_rate is exactly the
+	// rate implied by cache.hits and cache.misses. Hit/miss counts depend
+	// on worker interleaving (two workers can race to miss the same key),
+	// so these gauges are observational and excluded from determinism
 	// comparisons.
-	obs.Default.GaugeFunc("cache.hits", func() float64 { return float64(GlobalCacheStats().Hits) })
-	obs.Default.GaugeFunc("cache.misses", func() float64 { return float64(GlobalCacheStats().Misses) })
-	obs.Default.GaugeFunc("cache.evictions", func() float64 { return float64(GlobalCacheStats().Evictions) })
-	obs.Default.GaugeFunc("cache.bytes", func() float64 { return float64(GlobalCacheStats().Bytes) })
-	obs.Default.GaugeFunc("cache.entries", func() float64 { return float64(GlobalCacheStats().Entries) })
-	obs.Default.GaugeFunc("cache.hit_rate", func() float64 { return GlobalCacheStats().HitRate() })
+	obs.Default.GaugeGroup(func() map[string]float64 {
+		s := GlobalCacheStats()
+		return map[string]float64{
+			"cache.hits":      float64(s.Hits),
+			"cache.misses":    float64(s.Misses),
+			"cache.evictions": float64(s.Evictions),
+			"cache.bytes":     float64(s.Bytes),
+			"cache.entries":   float64(s.Entries),
+			"cache.hit_rate":  s.HitRate(),
+		}
+	})
 }
 
 // SetCacheBudget replaces the process-wide frame cache with a fresh one of

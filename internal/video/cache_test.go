@@ -102,8 +102,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	c.get(keys[0], func() *Frame { panic("should be cached") })
 	// Inserting a 4th entry must evict exactly keys[1].
 	c.get(keys[3], func() *Frame { return mk(3) })
-	if c.evictions.Load() != 1 {
-		t.Fatalf("evictions = %d, want 1", c.evictions.Load())
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
 	}
 	sh := &c.shards[shard0]
 	sh.mu.Lock()

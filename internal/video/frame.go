@@ -32,7 +32,19 @@ type Frame struct {
 	// Ids are never reused, so a stale cache entry can go unreferenced but
 	// can never be wrongly returned for a different frame.
 	id uint64
+
+	// stats memoizes SharedMeanStd. Producers build a frame's pixels and
+	// then publish it read-only (the shared-frame contract the downsample
+	// cache already relies on), so the first SharedMeanStd call fixes the
+	// value for the frame's lifetime. The detector and proxy models take
+	// full-frame stats of the same cached downsample and background every
+	// processed frame; the memo makes the repeat calls O(1). Racing first
+	// calls compute identical values (a pure function of Pix), so
+	// last-write-wins is safe.
+	stats atomic.Pointer[frameStats]
 }
+
+type frameStats struct{ mean, std float64 }
 
 // frameIDs issues process-unique frame identities; see Frame.id.
 var frameIDs atomic.Uint64
@@ -162,6 +174,20 @@ func (f *Frame) Crop(r geom.Rect) *Frame {
 		copy(out.Pix[y*w:(y+1)*w], f.Pix[(y0+y)*f.W+x0:(y0+y)*f.W+x1])
 	}
 	return out
+}
+
+// SharedMeanStd returns the full-frame mean and standard deviation,
+// memoized on the frame. It is for *published* frames — ones already
+// shared read-only under the cache's contract (cached downsamples, the
+// background model's planes). The first call fixes the result for the
+// frame's lifetime; use MeanStd on frames that may still be mutated.
+func (f *Frame) SharedMeanStd() (mean, std float64) {
+	if s := f.stats.Load(); s != nil {
+		return s.mean, s.std
+	}
+	mean, std = f.MeanStd(geom.Rect{})
+	f.stats.Store(&frameStats{mean: mean, std: std})
+	return mean, std
 }
 
 // MeanStd returns the mean and standard deviation of pixel values inside

@@ -147,3 +147,24 @@ func TestMeanStd(t *testing.T) {
 		t.Errorf("region mean = %v, want 100 (only pixel (0,0) is in region)", m)
 	}
 }
+
+func TestSharedMeanStdMemoizes(t *testing.T) {
+	f := NewFrame(8, 8, 8, 8)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i * 3)
+	}
+	wantMean, wantStd := f.MeanStd(geom.Rect{})
+	m, s := f.SharedMeanStd()
+	if m != wantMean || s != wantStd {
+		t.Fatalf("SharedMeanStd = %v, %v, want %v, %v", m, s, wantMean, wantStd)
+	}
+	// The memo must serve repeats without recomputing (and without
+	// allocating).
+	if n := testing.AllocsPerRun(100, func() { f.SharedMeanStd() }); n != 0 {
+		t.Errorf("memoized SharedMeanStd allocates %v per op, want 0", n)
+	}
+	m2, s2 := f.SharedMeanStd()
+	if m2 != wantMean || s2 != wantStd {
+		t.Errorf("repeat SharedMeanStd = %v, %v, want %v, %v", m2, s2, wantMean, wantStd)
+	}
+}
