@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"otif/internal/bench"
 	"otif/internal/dataset"
+	"otif/internal/nn"
 	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/video"
@@ -41,6 +43,8 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		prefetch = flag.Int("prefetch", video.DefaultPrefetchDepth, "decode-ahead depth in frames (<= 0 disables); results are identical at any setting")
 		perfOut  = flag.String("perf", "", "write the kernel/extraction performance report (JSON) to this file and exit")
+		perfGate = flag.Bool("perf-gate", false, "with -perf: exit nonzero unless the float32 backend beats float64 (kernels and end-to-end)")
+		prec     = flag.String("precision", "float64", "inference numeric backend: float64 (bit-exact reference) or float32 (faster, tolerance-tested)")
 		metricsF = flag.Bool("metrics", false, "print the per-stage cost breakdown of one test-set extraction (next to BENCH JSON) and exit")
 		metricsO = flag.String("metrics-out", "", "write the per-stage cost breakdown as JSON to this file and exit (combines with -metrics)")
 		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file on exit")
@@ -49,6 +53,12 @@ func main() {
 	parallel.SetWorkers(*nworkers)
 	video.SetCacheBudget(int64(*cacheMB) << 20)
 	video.SetPrefetchDepth(*prefetch)
+	if p, err := nn.ParsePrecision(*prec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(2)
+	} else {
+		nn.SetPrecision(p)
+	}
 	if *traceOut != "" {
 		obs.EnableTracing(0)
 		defer func() {
@@ -106,18 +116,32 @@ func main() {
 		if len(names) > 0 {
 			ds = names[0]
 		}
+		rep, err := suite.PerfData(ds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
 		f, err := os.Create(*perfOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		if err := suite.Perf(f, ds); err != nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
 		f.Close()
 		fmt.Println("wrote performance report to", *perfOut)
+		if *perfGate {
+			if err := bench.GatePerf(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", err)
+				os.Exit(1)
+			}
+			fmt.Println("perf gate passed: float32 backend beats float64")
+		}
 		return
 	}
 

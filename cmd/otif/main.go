@@ -33,6 +33,7 @@ func main() {
 		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		prefetch = flag.Int("prefetch", otif.Prefetch(), "decode-ahead depth in frames (<= 0 disables); results are identical at any setting")
+		prec     = flag.String("precision", "float64", "inference numeric backend: float64 (bit-exact reference) or float32 (faster, tolerance-tested)")
 		metricsF = flag.Bool("metrics", false, "print the metrics registry (text form) after the run")
 		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file")
 	)
@@ -40,6 +41,10 @@ func main() {
 	otif.SetParallelism(*nwork)
 	otif.SetCacheMB(*cacheMB)
 	otif.SetPrefetch(*prefetch)
+	if err := otif.SetPrecision(*prec); err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(2)
+	}
 	if *traceOut != "" {
 		otif.EnableTracing(0)
 	}

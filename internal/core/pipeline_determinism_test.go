@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"otif/internal/costmodel"
+	"otif/internal/nn"
 	"otif/internal/track"
 	"otif/internal/video"
 )
@@ -78,7 +79,7 @@ func TestRunClipPooledMatchesPublic(t *testing.T) {
 		pub := sys.RunClip(cfg, sys.DS.Val[0].Clip, pubAcct)
 
 		pooledAcct := costmodel.NewAccountant()
-		pooled := sys.runClip(t.Context(), cfg, sys.DS.Val[0].Clip, pooledAcct, true)
+		pooled := sys.runClip(t.Context(), cfg, sys.DS.Val[0].Clip, pooledAcct, true, nn.ActivePrecision())
 
 		if pooled.DetsByFrame != nil {
 			t.Error("pooled run must not retain DetsByFrame")

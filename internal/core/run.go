@@ -9,6 +9,7 @@ import (
 	"otif/internal/dataset"
 	"otif/internal/detect"
 	"otif/internal/geom"
+	"otif/internal/nn"
 	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/proxy"
@@ -42,7 +43,7 @@ type ClipResult struct {
 // training-data collection); RunSet uses the pooled internal variant that
 // skips that retention and recycles per-clip buffers instead.
 func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountant) *ClipResult {
-	return s.runClip(context.Background(), cfg, clip, acct, false)
+	return s.runClip(context.Background(), cfg, clip, acct, false, nn.ActivePrecision())
 }
 
 // runClip is RunClip with a context bounding the reader's decode-ahead
@@ -52,7 +53,12 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 // Pooling is safe because trackers copy Detection values into track-owned
 // slices — nothing in the returned result aliases pooled memory — and it
 // never changes results.
-func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct *costmodel.Accountant, pooled bool) *ClipResult {
+//
+// prec is the compute backend for this clip. Callers sample the process
+// setting exactly once per entry point (RunClip, RunSetContext), so a
+// concurrent SetPrecision never tears a run: every clip of one RunSet uses
+// the same backend.
+func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct *costmodel.Accountant, pooled bool, prec nn.Precision) *ClipResult {
 	detW, detH := cfg.DetRes(s.DS.Cfg.NomW, s.DS.Cfg.NomH)
 	detector := &detect.Detector{
 		Cfg: detect.Config{
@@ -63,6 +69,7 @@ func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct
 		Background: s.Background,
 		Classify:   s.Classifier,
 		Acct:       acct,
+		Prec:       prec,
 	}
 	if pooled {
 		detector.Arena = detect.GetArena()
@@ -85,7 +92,7 @@ func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct
 			cfg.Arch.PerPixelCost(), cfg.DetScale, s.WindowSizes)
 	}
 
-	tracker := s.newTracker(cfg, acct)
+	tracker := s.newTracker(cfg, acct, prec)
 	res := &ClipResult{}
 	if !pooled {
 		res.DetsByFrame = map[int][]detect.Detection{}
@@ -100,7 +107,7 @@ func (s *System) runClip(ctx context.Context, cfg Config, clip *video.Clip, acct
 		metFrames.Inc()
 		var dets []detect.Detection
 		if pm != nil {
-			scores := pm.Score(frame, s.Background, acct)
+			scores := pm.ScorePrec(prec, frame, s.Background, acct)
 			proxy.ThresholdInto(grid, scores, cfg.ProxyThresh)
 			wins := proxy.Group(grid, ws)
 			if len(wins) > 0 {
@@ -181,19 +188,21 @@ func (s *System) runVariable(cfg Config, clip *video.Clip, detW, detH int,
 // is time-based: a track survives roughly maxMissSeconds of consecutive
 // unmatched processed frames (bridging brief detector misses and
 // occlusion merges) regardless of the sampling gap.
-func (s *System) newTracker(cfg Config, acct *costmodel.Accountant) track.Tracker {
+func (s *System) newTracker(cfg Config, acct *costmodel.Accountant, prec nn.Precision) track.Tracker {
 	misses := maxMisses(s.DS.Cfg.FPS, cfg.Gap)
 	switch cfg.Tracker {
 	case TrackerRecurrent:
 		if s.Recurrent != nil {
 			t := track.NewRecurrentTracker(s.Recurrent, acct)
 			t.MaxMisses = misses
+			t.Prec = prec
 			return t
 		}
 	case TrackerPair:
 		if s.Pair != nil {
 			t := track.NewPairTracker(s.Pair, acct)
 			t.MaxMisses = misses
+			t.Prec = prec
 			return t
 		}
 	}
@@ -333,6 +342,9 @@ func (s *System) RunSet(cfg Config, clips []*dataset.ClipTruth) *SetResult {
 func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset.ClipTruth) (*SetResult, error) {
 	out := &SetResult{PerClip: make([][]*query.Track, len(clips))}
 	shards := make([]*costmodel.Accountant, len(clips))
+	// The backend is sampled once for the whole set: a concurrent
+	// SetPrecision affects the next RunSet, never part of this one.
+	prec := nn.ActivePrecision()
 	ctx, setSpan := obs.StartSpan(ctx, "run.set")
 	defer setSpan.End()
 	err := parallel.ForContext(ctx, len(clips), func(i int) {
@@ -340,7 +352,7 @@ func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset
 		clipCtx, clipSpan := obs.StartSpan(ctx, "run.clip")
 		defer clipSpan.End()
 		acct := costmodel.NewAccountant()
-		res := s.runClip(clipCtx, cfg, ct.Clip, acct, true)
+		res := s.runClip(clipCtx, cfg, ct.Clip, acct, true, prec)
 		out.PerClip[i] = s.QueryTracks(cfg, res.Tracks, ct.Clip.Len())
 		shards[i] = acct
 		s.Progress.Emit(obs.Event{

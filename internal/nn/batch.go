@@ -20,7 +20,7 @@ import "fmt"
 // on first use and are reused afterwards, so steady-state calls allocate
 // nothing.
 type BatchScratch struct {
-	hx, rh, rhx, z, r, c Vec // flat row-major gate matrices
+	hx, z, r, c Vec // flat row-major gate matrices ([r*h, x] reuses hx)
 }
 
 // ApplyBatchInto computes the layer output for rows input vectors stored
@@ -84,16 +84,20 @@ func (g *GRUCell) StepBatchInferInto(dst, h, x Vec, rows int, s *BatchScratch) V
 	}
 	z := g.Wz.ApplyBatchInto(growVec(&s.z, rows*n), hx, rows)
 	r := g.Wr.ApplyBatchInto(growVec(&s.r, rows*n), hx, rows)
-	rh := growVec(&s.rh, rows*n)
-	for i := range rh {
-		rh[i] = r[i] * h[i]
-	}
-	rhx := growVec(&s.rhx, rows*(n+in))
+	// Reuse hx as the candidate input [r*h, x]: overwrite each row's h
+	// columns with r*h in place; the x columns are already there, so the x
+	// segment is copied once per row for the whole step instead of twice.
+	// The matrix fed to Wc holds exactly the values the scalar kernel's rhx
+	// buffer held, so bit-identity with StepInferInto is preserved.
 	for b := 0; b < rows; b++ {
-		copy(rhx[b*(n+in):], rh[b*n:(b+1)*n])
-		copy(rhx[b*(n+in)+n:], x[b*in:(b+1)*in])
+		hb := h[b*n : (b+1)*n]
+		rb := r[b*n : (b+1)*n]
+		rh := hx[b*(n+in) : b*(n+in)+n]
+		for i := range rh {
+			rh[i] = rb[i] * hb[i]
+		}
 	}
-	c := g.Wc.ApplyBatchInto(growVec(&s.c, rows*n), rhx, rows)
+	c := g.Wc.ApplyBatchInto(growVec(&s.c, rows*n), hx, rows)
 	for i := 0; i < rows*n; i++ {
 		dst[i] = (1-z[i])*h[i] + z[i]*c[i]
 	}

@@ -1,0 +1,120 @@
+package nn
+
+import "fmt"
+
+// This file implements the batched float32 inference tier. The matmul inner
+// loop is register-blocked: each pass computes 4 output units, so one
+// streaming read of the input row feeds 4 accumulators held in registers
+// instead of being re-read for every output unit. Relative to the
+// row-at-a-time loop (internal/nn/batch.go) this roughly halves the memory
+// traffic per output block — 4 weight rows + 1 input read instead of 4
+// weight rows + 4 input reads — on top of float32 already halving the bytes
+// per element.
+//
+// Bit-identity within the float32 backend: every output unit still
+// accumulates its dot product over inputs in ascending index order, in its
+// own accumulator, so blocked batched outputs are bit-for-bit equal to the
+// scalar Dense32.ApplyInto outputs (pinned by nn32_test.go). Identity to
+// the float64 kernels is NOT promised — that difference is what the ULP
+// differential tests bound.
+
+// BatchScratch32 holds reusable buffers for the batched float32 inference
+// kernels, mirroring BatchScratch. A scratch is owned by exactly one
+// goroutine; every kernel call overwrites its buffers. The zero value is
+// ready to use.
+type BatchScratch32 struct {
+	hx, z, r, c Vec32 // flat row-major gate matrices ([r*h, x] reuses hx)
+}
+
+// ApplyBatchInto computes the layer output for rows input vectors stored
+// row-major in x (len rows*In), writing the row-major result into dst
+// (len rows*Out) and returning dst. Row b of the output is bit-identical to
+// ApplyInto applied to row b of the input. It allocates nothing and reads
+// only the weights, so concurrent calls on a shared layer are safe as long
+// as each goroutine owns its dst. dst must not alias x. rows == 0 is a
+// no-op.
+func (d *Dense32) ApplyBatchInto(dst, x Vec32, rows int) Vec32 {
+	if len(x) != rows*d.In {
+		panic(fmt.Sprintf("nn: dense32 batch expected input %d x %d, got len %d", rows, d.In, len(x)))
+	}
+	if len(dst) != rows*d.Out {
+		panic(fmt.Sprintf("nn: dense32 batch expected output buffer %d x %d, got len %d", rows, d.Out, len(dst)))
+	}
+	for b := 0; b < rows; b++ {
+		xb := x[b*d.In : (b+1)*d.In]
+		db := dst[b*d.Out : (b+1)*d.Out]
+		// Register-blocked over output units: 4 accumulators per pass share
+		// one streaming read of xb. Each accumulator still sums its row's
+		// products in ascending j, preserving bit-identity with ApplyInto.
+		i := 0
+		for ; i+4 <= d.Out; i += 4 {
+			r0 := d.W[(i+0)*d.In : (i+1)*d.In]
+			r1 := d.W[(i+1)*d.In : (i+2)*d.In]
+			r2 := d.W[(i+2)*d.In : (i+3)*d.In]
+			r3 := d.W[(i+3)*d.In : (i+4)*d.In]
+			var s0, s1, s2, s3 float32
+			for j, xv := range xb {
+				s0 += r0[j] * xv
+				s1 += r1[j] * xv
+				s2 += r2[j] * xv
+				s3 += r3[j] * xv
+			}
+			db[i+0] = d.Act.apply32(s0 + d.B[i+0])
+			db[i+1] = d.Act.apply32(s1 + d.B[i+1])
+			db[i+2] = d.Act.apply32(s2 + d.B[i+2])
+			db[i+3] = d.Act.apply32(s3 + d.B[i+3])
+		}
+		for ; i < d.Out; i++ {
+			row := d.W[i*d.In : (i+1)*d.In]
+			var s float32
+			for j, w := range row {
+				s += w * xb[j]
+			}
+			db[i] = d.Act.apply32(s + d.B[i])
+		}
+	}
+	return dst
+}
+
+// StepBatchInferInto advances rows hidden states by one input each. h holds
+// the hidden states row-major (len rows*HiddenSize), x the inputs row-major
+// (len rows*InSize); the new states are written row-major into dst
+// (len rows*HiddenSize), which is returned. dst may alias h (the common
+// in-place update), but must not alias a scratch buffer. All intermediates
+// live in the scratch, so steady-state calls allocate nothing. Row b of the
+// result is bit-identical to StepInferInto applied to row b of (h, x).
+func (g *GRUCell32) StepBatchInferInto(dst, h, x Vec32, rows int, s *BatchScratch32) Vec32 {
+	n, in := g.HiddenSize, g.InSize
+	if len(h) != rows*n {
+		panic(fmt.Sprintf("nn: gru32 batch expected hidden %d x %d, got len %d", rows, n, len(h)))
+	}
+	if len(x) != rows*in {
+		panic(fmt.Sprintf("nn: gru32 batch expected input %d x %d, got len %d", rows, in, len(x)))
+	}
+	if len(dst) != rows*n {
+		panic(fmt.Sprintf("nn: gru32 batch expected output buffer %d x %d, got len %d", rows, n, len(dst)))
+	}
+	hx := growVec32(&s.hx, rows*(n+in))
+	for b := 0; b < rows; b++ {
+		copy(hx[b*(n+in):], h[b*n:(b+1)*n])
+		copy(hx[b*(n+in)+n:], x[b*in:(b+1)*in])
+	}
+	z := g.Wz.ApplyBatchInto(growVec32(&s.z, rows*n), hx, rows)
+	r := g.Wr.ApplyBatchInto(growVec32(&s.r, rows*n), hx, rows)
+	// Reuse hx as the candidate input [r*h, x]: overwrite each row's h
+	// columns with r*h; the x columns are already in place, so x is copied
+	// once per row for the whole step.
+	for b := 0; b < rows; b++ {
+		hb := h[b*n : (b+1)*n]
+		rb := r[b*n : (b+1)*n]
+		rh := hx[b*(n+in) : b*(n+in)+n]
+		for i := range rh {
+			rh[i] = rb[i] * hb[i]
+		}
+	}
+	c := g.Wc.ApplyBatchInto(growVec32(&s.c, rows*n), hx, rows)
+	for i := 0; i < rows*n; i++ {
+		dst[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	return dst
+}

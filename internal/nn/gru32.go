@@ -1,0 +1,61 @@
+package nn
+
+import "fmt"
+
+// GRUCell32 is the float32 mirror of GRUCell, built by GRUCell.To32. It
+// implements the same update rule:
+//
+//	z = sigmoid(Wz [h, x])
+//	r = sigmoid(Wr [h, x])
+//	c = tanh(Wc [r*h, x])
+//	h' = (1-z)*h + z*c
+//
+// The candidate gate's input [r*h, x] is assembled by overwriting the h
+// columns of the already-built [h, x] buffer with r*h, so the x segment is
+// copied once per step instead of twice (the same layout the float64
+// batched kernel uses). The values fed to each gate are unchanged, so the
+// scalar and batched float32 tiers stay bit-identical.
+type GRUCell32 struct {
+	InSize, HiddenSize int
+	Wz, Wr, Wc         *Dense32
+}
+
+// To32 returns an inference-only float32 copy of the cell.
+func (g *GRUCell) To32() *GRUCell32 {
+	return &GRUCell32{
+		InSize:     g.InSize,
+		HiddenSize: g.HiddenSize,
+		Wz:         g.Wz.To32(),
+		Wr:         g.Wr.To32(),
+		Wc:         g.Wc.To32(),
+	}
+}
+
+// StepInferInto advances the hidden state by one input, writing the new
+// state into dst (len HiddenSize) and returning dst. All intermediates live
+// in the scratch, so steady-state calls allocate nothing. dst may alias h
+// (the common in-place update), but must not alias a scratch buffer. Output
+// is bit-identical to StepBatchInferInto's row for the same (h, x).
+func (g *GRUCell32) StepInferInto(dst, h, x Vec32, s *Scratch32) Vec32 {
+	n := g.HiddenSize
+	if len(x) != g.InSize {
+		panic(fmt.Sprintf("nn: gru32 expected input %d, got %d", g.InSize, len(x)))
+	}
+	if len(dst) != n || len(h) != n {
+		panic(fmt.Sprintf("nn: gru32 expected hidden %d, got dst %d h %d", n, len(dst), len(h)))
+	}
+	hx := growVec32(&s.hx, n+len(x))
+	copy(hx, h)
+	copy(hx[n:], x)
+	z := g.Wz.ApplyInto(growVec32(&s.z, n), hx)
+	r := g.Wr.ApplyInto(growVec32(&s.r, n), hx)
+	// Reuse hx as [r*h, x]: the x columns are already in place.
+	for i := 0; i < n; i++ {
+		hx[i] = r[i] * h[i]
+	}
+	c := g.Wc.ApplyInto(growVec32(&s.c, n), hx)
+	for i := 0; i < n; i++ {
+		dst[i] = (1-z[i])*h[i] + z[i]*c[i]
+	}
+	return dst
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the float32 kernel suite of the reduced-precision
+// compute backend: Dense32, MLP32, LogReg32 (and GRUCell32 in gru32.go)
+// mirror the float64 zero-allocation inference kernels with float32 weights,
+// inputs and accumulators. Models are converted once via the To32 methods —
+// the persist format stays float64, so loading and retraining are untouched
+// and float64 remains the bit-identical reference path.
+//
+// Numerics: dot products accumulate in float32 in the same ascending index
+// order as the float64 kernels, so the float32 scalar and batched tiers are
+// bit-identical to each other (pinned by tests); against the float64
+// reference they carry the usual single-precision rounding, bounded by the
+// ULP differential tests in nn32_test.go and the end-to-end accuracy delta
+// pinned in internal/core. Activations evaluate the float64 transcendental
+// on the float32 pre-activation and round once, keeping them monotone and
+// within 1 ULP of the correctly rounded result.
+
+// Vec32 is a dense float32 vector.
+type Vec32 []float32
+
+// NewVec32 returns a zero vector of length n.
+func NewVec32(n int) Vec32 { return make(Vec32, n) }
+
+// To32 returns v converted elementwise to float32.
+func (v Vec) To32() Vec32 {
+	out := make(Vec32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Sigmoid32 is the logistic function evaluated in float64 and rounded once
+// to float32.
+func Sigmoid32(x float32) float32 { return float32(Sigmoid(float64(x))) }
+
+// Tanh32 is the hyperbolic tangent evaluated in float64 and rounded once to
+// float32.
+func Tanh32(x float32) float32 { return float32(math.Tanh(float64(x))) }
+
+// ReLU32 is the rectified linear unit.
+func ReLU32(x float32) float32 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func (a Activation) apply32(x float32) float32 {
+	switch a {
+	case SigmoidAct:
+		return Sigmoid32(x)
+	case TanhAct:
+		return Tanh32(x)
+	case ReLUAct:
+		return ReLU32(x)
+	default:
+		return x
+	}
+}
+
+// Scratch32 holds reusable buffers for the float32 zero-allocation
+// inference kernels, mirroring Scratch. A scratch is owned by exactly one
+// goroutine; every kernel call overwrites its buffers. The zero value is
+// ready to use.
+type Scratch32 struct {
+	hx, z, r, c Vec32 // GRU gate buffers ([r*h, x] reuses hx, see gru32.go)
+	a, b        Vec32 // MLP ping-pong buffers
+}
+
+// growVec32 resizes *v to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growVec32(v *Vec32, n int) Vec32 {
+	if cap(*v) < n {
+		*v = make(Vec32, n)
+	}
+	*v = (*v)[:n]
+	return *v
+}
+
+// Dense32 is the float32 mirror of Dense: y = act(W x + b) with flat
+// row-major weights. Instances come from Dense.To32 and are inference-only.
+type Dense32 struct {
+	In, Out int
+	W       Vec32 // flat row-major weights, len Out*In
+	B       Vec32
+	Act     Activation
+}
+
+// To32 returns an inference-only float32 copy of the layer. The conversion
+// is elementwise rounding of the trained float64 weights; call it once per
+// trained model and share the result (it is read-only under inference).
+func (d *Dense) To32() *Dense32 {
+	return &Dense32{In: d.In, Out: d.Out, W: d.W.To32(), B: d.B.To32(), Act: d.Act}
+}
+
+// ApplyInto computes the layer output into dst (len Out) and returns dst.
+// It allocates nothing and reads only the weights, so concurrent calls on a
+// shared layer are safe as long as each goroutine owns its dst. dst must
+// not alias x. Per output unit the dot product accumulates in ascending
+// index order — the same order as the float64 kernel and the batched
+// float32 kernel, so ApplyInto and ApplyBatchInto are bit-identical.
+func (d *Dense32) ApplyInto(dst, x Vec32) Vec32 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense32 expected input %d, got %d", d.In, len(x)))
+	}
+	if len(dst) != d.Out {
+		panic(fmt.Sprintf("nn: dense32 expected output buffer %d, got %d", d.Out, len(dst)))
+	}
+	for i := 0; i < d.Out; i++ {
+		row := d.W[i*d.In : (i+1)*d.In]
+		var s float32
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = d.Act.apply32(s + d.B[i])
+	}
+	return dst
+}
+
+// MLP32 is the float32 mirror of MLP, built by MLP.To32.
+type MLP32 struct {
+	Layers []*Dense32
+}
+
+// To32 returns an inference-only float32 copy of the network.
+func (m *MLP) To32() *MLP32 {
+	out := &MLP32{Layers: make([]*Dense32, len(m.Layers))}
+	for i, l := range m.Layers {
+		out.Layers[i] = l.To32()
+	}
+	return out
+}
+
+// ApplyWith runs the network on x using the scratch's ping-pong buffers,
+// allocating nothing in steady state. The returned vector is owned by the
+// scratch and valid only until its next use; x must not alias the scratch's
+// buffers.
+func (m *MLP32) ApplyWith(s *Scratch32, x Vec32) Vec32 {
+	cur := x
+	for i, l := range m.Layers {
+		var dst Vec32
+		if i%2 == 0 {
+			dst = growVec32(&s.a, l.Out)
+		} else {
+			dst = growVec32(&s.b, l.Out)
+		}
+		l.ApplyInto(dst, cur)
+		cur = dst
+	}
+	return cur
+}
+
+// LogReg32 is the float32 mirror of LogReg: p = sigmoid(w.x + b), built by
+// LogReg.To32.
+type LogReg32 struct {
+	W Vec32
+	B float32
+}
+
+// To32 returns an inference-only float32 copy of the classifier.
+func (l *LogReg) To32() *LogReg32 {
+	return &LogReg32{W: l.W.To32(), B: float32(l.B)}
+}
+
+// Predict returns the positive-class probability for feature vector x. The
+// dot product accumulates in float32 in ascending index order; it allocates
+// nothing.
+func (l *LogReg32) Predict(x Vec32) float32 {
+	if len(x) != len(l.W) {
+		panic(fmt.Sprintf("nn: logreg32 dot of length %d and %d", len(l.W), len(x)))
+	}
+	var s float32
+	for i, w := range l.W {
+		s += w * x[i]
+	}
+	return Sigmoid32(s + l.B)
+}

@@ -1,0 +1,402 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tolerance contract of the float32 backend (DESIGN.md "Precision-tiered
+// compute backend"): per-kernel outputs must stay within maxULP32 float32
+// ULPs of the float64 reference rounded to float32, or within absTol32
+// absolutely (the absolute escape covers catastrophic cancellation near
+// zero, where ULP distance is meaningless). The bounds are sized for the
+// small layers OTIF runs (<= 48 inputs): worst-case float32 accumulation
+// error over n terms is ~n*eps*sum|terms|, far inside these limits.
+const (
+	maxULP32 = 1024
+	absTol32 = 1e-4
+)
+
+// ulp32 returns the distance in float32 representation steps between a and
+// b, using the monotone integer mapping of IEEE-754 floats.
+func ulp32(a, b float32) int64 {
+	ia := int64(int32(math.Float32bits(a)))
+	if ia < 0 {
+		ia = math.MinInt32 - ia
+	}
+	ib := int64(int32(math.Float32bits(b)))
+	if ib < 0 {
+		ib = math.MinInt32 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// within32 reports whether got satisfies the tolerance contract against the
+// float64 reference want.
+func within32(got float32, want float64) bool {
+	w := float32(want)
+	if ulp32(got, w) <= maxULP32 {
+		return true
+	}
+	d := float64(got) - want
+	return math.Abs(d) <= absTol32
+}
+
+func requireWithin32(t *testing.T, what string, got Vec32, want Vec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if !within32(got[i], want[i]) {
+			t.Fatalf("%s[%d]: float32 %v vs float64 %v (%d ULPs, |diff| %g) exceeds tolerance",
+				what, i, got[i], want[i], ulp32(got[i], float32(want[i])), math.Abs(float64(got[i])-want[i]))
+		}
+	}
+}
+
+func requireEqualVecs32(t *testing.T, what string, got, want Vec32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != %v (must be bit-identical)", what, i, got[i], want[i])
+		}
+	}
+}
+
+func randVec32(rng *rand.Rand, n int) Vec32 {
+	v := NewVec32(n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// to64 widens a float32 vector so the float64 reference kernels can run on
+// exactly the values the float32 kernels see.
+func to64(v Vec32) Vec {
+	out := NewVec(len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// TestTo32Conversion pins the conversion point: To32 rounds every weight
+// elementwise and copies structure, leaving the float64 model untouched.
+func TestTo32Conversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	d := NewDense(9, 5, TanhAct, rng)
+	d32 := d.To32()
+	if d32.In != d.In || d32.Out != d.Out || d32.Act != d.Act {
+		t.Fatalf("To32 changed shape: %+v vs %+v", d32, d)
+	}
+	for i := range d.W {
+		if d32.W[i] != float32(d.W[i]) {
+			t.Fatalf("W[%d]: %v != float32(%v)", i, d32.W[i], d.W[i])
+		}
+	}
+	for i := range d.B {
+		if d32.B[i] != float32(d.B[i]) {
+			t.Fatalf("B[%d]: %v != float32(%v)", i, d32.B[i], d.B[i])
+		}
+	}
+	g := NewGRUCell(7, 16, rng)
+	g32 := g.To32()
+	if g32.InSize != g.InSize || g32.HiddenSize != g.HiddenSize {
+		t.Fatalf("GRU To32 changed shape")
+	}
+	l := NewLogReg(4, rng)
+	l.B = 0.37
+	l32 := l.To32()
+	if l32.B != float32(l.B) {
+		t.Fatalf("LogReg To32 bias: %v != %v", l32.B, float32(l.B))
+	}
+}
+
+// TestDense32ULPBound runs the float32 dense kernel against the float64
+// reference on identical inputs across random shapes and activations,
+// requiring every output inside the tolerance contract.
+func TestDense32ULPBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	acts := []Activation{Linear, SigmoidAct, TanhAct, ReLUAct}
+	for trial := 0; trial < 50; trial++ {
+		in := 1 + rng.Intn(48)
+		out := 1 + rng.Intn(32)
+		d := NewDense(in, out, acts[trial%len(acts)], rng)
+		d32 := d.To32()
+		x32 := randVec32(rng, in)
+		got := d32.ApplyInto(NewVec32(out), x32)
+		want := d.ApplyInto(NewVec(out), to64(x32))
+		requireWithin32(t, "dense32", got, want)
+	}
+}
+
+// TestGRU32ULPBound folds both cells over the same input sequence and
+// checks the hidden state stays inside the tolerance contract at every
+// step (compounded rounding included).
+func TestGRU32ULPBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGRUCell(7, 16, rng)
+	g32 := g.To32()
+	var s Scratch
+	var s32 Scratch32
+	h := NewVec(16)
+	h32 := NewVec32(16)
+	for step := 0; step < 40; step++ {
+		x32 := randVec32(rng, 7)
+		g.StepInferInto(h, h, to64(x32), &s)
+		g32.StepInferInto(h32, h32, x32, &s32)
+		requireWithin32(t, "gru32 hidden", h32, h)
+	}
+}
+
+// TestMLP32ULPBound checks the two-layer matching network shape.
+func TestMLP32ULPBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := NewMLP([]int{28, 24, 1}, ReLUAct, SigmoidAct, rng)
+	m32 := m.To32()
+	var s Scratch
+	var s32 Scratch32
+	for trial := 0; trial < 50; trial++ {
+		x32 := randVec32(rng, 28)
+		got := m32.ApplyWith(&s32, x32)
+		want := m.ApplyWith(&s, to64(x32))
+		requireWithin32(t, "mlp32", got, want)
+	}
+}
+
+// TestLogReg32ULPBound checks the proxy classifier kernel.
+func TestLogReg32ULPBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	l := NewLogReg(4, rng)
+	l.B = -0.2
+	l32 := l.To32()
+	for trial := 0; trial < 50; trial++ {
+		x32 := randVec32(rng, 4)
+		got := l32.Predict(x32)
+		want := l.Predict(to64(x32))
+		if !within32(got, want) {
+			t.Fatalf("logreg32: %v vs %v exceeds tolerance", got, want)
+		}
+	}
+}
+
+// TestDense32BatchBitIdentical pins that the register-blocked batched
+// kernel is bit-identical to the scalar float32 kernel across shapes —
+// including output counts that are not multiples of the 4-wide block, and
+// 0/1-row batches.
+func TestDense32BatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	acts := []Activation{Linear, SigmoidAct, TanhAct, ReLUAct}
+	for trial := 0; trial < 60; trial++ {
+		in := 1 + rng.Intn(33)
+		out := 1 + rng.Intn(21) // exercises every Out%4 remainder
+		rows := rng.Intn(18)    // includes rows == 0 and == 1
+		d32 := NewDense(in, out, acts[trial%len(acts)], rng).To32()
+		x := randVec32(rng, rows*in)
+		got := d32.ApplyBatchInto(NewVec32(rows*out), x, rows)
+		want := NewVec32(rows * out)
+		for b := 0; b < rows; b++ {
+			d32.ApplyInto(want[b*out:(b+1)*out], x[b*in:(b+1)*in])
+		}
+		requireEqualVecs32(t, "dense32 batch", got, want)
+	}
+}
+
+// TestGRU32BatchBitIdentical pins scalar/batched bit-identity for the
+// float32 GRU step, including the in-place dst == h case.
+func TestGRU32BatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	g32 := NewGRUCell(7, 16, rng).To32()
+	var bs BatchScratch32
+	var ss Scratch32
+	for trial := 0; trial < 30; trial++ {
+		rows := rng.Intn(12)
+		h := randVec32(rng, rows*16)
+		x := randVec32(rng, rows*7)
+		want := NewVec32(rows * 16)
+		for b := 0; b < rows; b++ {
+			g32.StepInferInto(want[b*16:(b+1)*16], h[b*16:(b+1)*16], x[b*7:(b+1)*7], &ss)
+		}
+		got := g32.StepBatchInferInto(NewVec32(rows*16), h, x, rows, &bs)
+		requireEqualVecs32(t, "gru32 batch", got, want)
+		// In-place update must produce the same states.
+		g32.StepBatchInferInto(h, h, x, rows, &bs)
+		requireEqualVecs32(t, "gru32 batch in-place", h, want)
+	}
+}
+
+// TestFloat64BatchedXReuseBitIdentical guards the satellite change to the
+// float64 batched kernel (assembling [r*h, x] in the hx buffer): batched
+// output must remain bit-identical to the scalar reference, which is the
+// PR 6 contract.
+func TestFloat64BatchedXReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := NewGRUCell(7, 16, rng)
+	var bs BatchScratch
+	var ss Scratch
+	for trial := 0; trial < 30; trial++ {
+		rows := rng.Intn(12)
+		h := randVec(rng, rows*16)
+		x := randVec(rng, rows*7)
+		want := NewVec(rows * 16)
+		for b := 0; b < rows; b++ {
+			g.StepInferInto(want[b*16:(b+1)*16], h[b*16:(b+1)*16], x[b*7:(b+1)*7], &ss)
+		}
+		got := g.StepBatchInferInto(NewVec(rows*16), h, x, rows, &bs)
+		requireEqualVecs(t, "gru batch x-reuse", got, want)
+	}
+}
+
+// Zero-allocation gates for the float32 kernels: the CI alloc-regression
+// step runs every test matching 'Alloc', so these extend the gate to the
+// 32-bit suite.
+
+func TestDense32ApplyIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	d32 := NewDense(32, 32, ReLUAct, rng).To32()
+	x := randVec32(rng, 32)
+	dst := NewVec32(32)
+	if n := testing.AllocsPerRun(100, func() { d32.ApplyInto(dst, x) }); n != 0 {
+		t.Errorf("Dense32.ApplyInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestDense32ApplyBatchIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	d32 := NewDense(32, 32, ReLUAct, rng).To32()
+	x := randVec32(rng, 16*32)
+	dst := NewVec32(16 * 32)
+	if n := testing.AllocsPerRun(100, func() { d32.ApplyBatchInto(dst, x, 16) }); n != 0 {
+		t.Errorf("Dense32.ApplyBatchInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestGRU32StepInferIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g32 := NewGRUCell(7, 16, rng).To32()
+	var s Scratch32
+	h := NewVec32(16)
+	x := randVec32(rng, 7)
+	g32.StepInferInto(h, h, x, &s) // warm the scratch
+	if n := testing.AllocsPerRun(100, func() { g32.StepInferInto(h, h, x, &s) }); n != 0 {
+		t.Errorf("GRUCell32.StepInferInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestGRU32StepBatchInferIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g32 := NewGRUCell(7, 16, rng).To32()
+	var s BatchScratch32
+	h := randVec32(rng, 16*16)
+	x := randVec32(rng, 16*7)
+	g32.StepBatchInferInto(h, h, x, 16, &s) // warm the scratch
+	if n := testing.AllocsPerRun(100, func() { g32.StepBatchInferInto(h, h, x, 16, &s) }); n != 0 {
+		t.Errorf("GRUCell32.StepBatchInferInto allocates %v per op, want 0", n)
+	}
+}
+
+func TestMLP32ApplyWithAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m32 := NewMLP([]int{28, 24, 1}, ReLUAct, SigmoidAct, rng).To32()
+	var s Scratch32
+	x := randVec32(rng, 28)
+	m32.ApplyWith(&s, x) // warm the scratch
+	if n := testing.AllocsPerRun(100, func() { m32.ApplyWith(&s, x) }); n != 0 {
+		t.Errorf("MLP32.ApplyWith allocates %v per op, want 0", n)
+	}
+}
+
+func TestLogReg32PredictAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	l32 := NewLogReg(4, rng).To32()
+	x := randVec32(rng, 4)
+	if n := testing.AllocsPerRun(100, func() { l32.Predict(x) }); n != 0 {
+		t.Errorf("LogReg32.Predict allocates %v per op, want 0", n)
+	}
+}
+
+// TestParsePrecision covers the flag-level names and the error path.
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+	}{
+		{"float64", Float64}, {"64", Float64}, {"f64", Float64}, {"", Float64},
+		{"float32", Float32}, {"32", Float32}, {"f32", Float32},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePrecision("float16"); err == nil {
+		t.Error("ParsePrecision(float16) succeeded, want error")
+	}
+	if Float64.Bits() != 64 || Float32.Bits() != 32 {
+		t.Error("Precision.Bits mismatch")
+	}
+	if Float64.String() != "float64" || Float32.String() != "float32" {
+		t.Error("Precision.String mismatch")
+	}
+}
+
+// TestSetPrecisionRoundTrip pins the atomic selector and its default.
+func TestSetPrecisionRoundTrip(t *testing.T) {
+	defer SetPrecision(Float64)
+	if ActivePrecision() != Float64 {
+		t.Fatalf("default precision = %v, want float64", ActivePrecision())
+	}
+	SetPrecision(Float32)
+	if ActivePrecision() != Float32 {
+		t.Fatalf("after SetPrecision(Float32): %v", ActivePrecision())
+	}
+	SetPrecision(Float64)
+	if ActivePrecision() != Float64 {
+		t.Fatalf("after SetPrecision(Float64): %v", ActivePrecision())
+	}
+}
+
+func BenchmarkDense32ApplyInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(60))
+	d32 := NewDense(32, 32, ReLUAct, rng).To32()
+	x := randVec32(rng, 32)
+	dst := NewVec32(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d32.ApplyInto(dst, x)
+	}
+}
+
+func BenchmarkDense32ApplyBatchInto16(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	d32 := NewDense(32, 32, ReLUAct, rng).To32()
+	x := randVec32(rng, 16*32)
+	dst := NewVec32(16 * 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d32.ApplyBatchInto(dst, x, 16)
+	}
+}
+
+func BenchmarkGRU32StepBatchInferInto16(b *testing.B) {
+	rng := rand.New(rand.NewSource(62))
+	g32 := NewGRUCell(7, 16, rng).To32()
+	var s BatchScratch32
+	h := randVec32(rng, 16*16)
+	x := randVec32(rng, 16*7)
+	g32.StepBatchInferInto(h, h, x, 16, &s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g32.StepBatchInferInto(h, h, x, 16, &s)
+	}
+}

@@ -1,0 +1,130 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+
+	"otif/internal/costmodel"
+	"otif/internal/detect"
+	"otif/internal/nn"
+)
+
+// Float32-backend tracker contracts. The float32 path has its own
+// scalar/batched pair of GRU kernels; just like the float64 reference,
+// the two must be indistinguishable — same tracks, same hidden states —
+// over streams with empty frames, misses and restarts. Closeness to the
+// float64 backend is pinned per-kernel (internal/nn) and end to end
+// (internal/core); at the track level association decisions may
+// legitimately flip on near-threshold scores, so no float32-vs-float64
+// track comparison belongs here.
+
+func runRecurrentPrec(model *RecurrentModel, prec nn.Precision, byFrame map[int][]detect.Detection, frames, gap int) ([]*Track, []float64) {
+	tracker := NewRecurrentTracker(model, costmodel.NewAccountant())
+	tracker.Prec = prec
+	var confs []float64
+	for f := 0; f < frames; f += gap {
+		tracker.Update(&FrameContext{FrameIdx: f, GapFrames: gap}, byFrame[f])
+		confs = append(confs, tracker.LastConfidence())
+	}
+	return tracker.Finish(), confs
+}
+
+// TestRecurrentFloat32BatchedMatchesScalar is the float32 twin of
+// TestRecurrentBatchedMatchesScalar: under the float32 backend, batch-on
+// and batch-off runs must produce bit-identical tracks and confidences.
+func TestRecurrentFloat32BatchedMatchesScalar(t *testing.T) {
+	model, _ := trainedRecurrent(t, 31)
+	defer SetBatchedInference(true)
+	const frames, gap = 80, 4
+	for trial := 0; trial < 8; trial++ {
+		byFrame := jitteredStream(rand.New(rand.NewSource(int64(300+trial))), frames, gap)
+
+		SetBatchedInference(false)
+		wantTracks, wantConfs := runRecurrentPrec(model, nn.Float32, byFrame, frames, gap)
+		SetBatchedInference(true)
+		gotTracks, gotConfs := runRecurrentPrec(model, nn.Float32, byFrame, frames, gap)
+
+		requireSameTracks(t, gotTracks, wantTracks)
+		for i := range wantConfs {
+			if gotConfs[i] != wantConfs[i] {
+				t.Fatalf("trial %d round %d: confidence %v != %v (must be bit-identical)",
+					trial, i, gotConfs[i], wantConfs[i])
+			}
+		}
+	}
+}
+
+// TestRecurrentFloat32HiddenStatesBitIdentical drives the float32 scalar
+// and batched paths in lockstep and compares every track's hidden32 vector
+// after every round.
+func TestRecurrentFloat32HiddenStatesBitIdentical(t *testing.T) {
+	model, _ := trainedRecurrent(t, 32)
+	defer SetBatchedInference(true)
+	const frames, gap = 60, 4
+	byFrame := jitteredStream(rand.New(rand.NewSource(400)), frames, gap)
+
+	scalar := NewRecurrentTracker(model, costmodel.NewAccountant())
+	scalar.Prec = nn.Float32
+	batched := NewRecurrentTracker(model, costmodel.NewAccountant())
+	batched.Prec = nn.Float32
+	for f := 0; f < frames; f += gap {
+		fc := FrameContext{FrameIdx: f, GapFrames: gap}
+		SetBatchedInference(false)
+		scalar.Update(&fc, byFrame[f])
+		SetBatchedInference(true)
+		batched.Update(&fc, byFrame[f])
+
+		if len(scalar.active) != len(batched.active) {
+			t.Fatalf("frame %d: %d active tracks scalar, %d batched",
+				f, len(scalar.active), len(batched.active))
+		}
+		for i := range scalar.active {
+			sh, bh := scalar.active[i].hidden32, batched.active[i].hidden32
+			if len(sh) == 0 {
+				t.Fatalf("frame %d track %d: float32 tracker has no hidden32 state", f, i)
+			}
+			for k := range sh {
+				if sh[k] != bh[k] {
+					t.Fatalf("frame %d track %d hidden32[%d]: %v != %v (must be bit-identical)",
+						f, i, k, bh[k], sh[k])
+				}
+			}
+		}
+	}
+	requireSameTracks(t, batched.Finish(), scalar.Finish())
+}
+
+// TestPairTrackerFloat32Runs exercises the pair tracker's float32 scoring
+// branch over a jittered stream: it must produce a plausible track set
+// (per-kernel tolerance tests bound how far scores can drift) and must not
+// touch any float64 scratch.
+func TestPairTrackerFloat32Runs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	clips := syntheticClips(rng, 4, 3, 60)
+	model := NewPairModel(testNomW, testNomH, testFPS, rng)
+	opts := DefaultTrainOptions()
+	opts.Examples = 2500
+	TrainPair(model, clips, opts, costmodel.NewAccountant())
+	const frames, gap = 80, 4
+	byFrame := jitteredStream(rand.New(rand.NewSource(500)), frames, gap)
+
+	run := func(prec nn.Precision) []*Track {
+		tr := NewPairTracker(model, costmodel.NewAccountant())
+		tr.Prec = prec
+		for f := 0; f < frames; f += gap {
+			tr.Update(&FrameContext{FrameIdx: f, GapFrames: gap}, byFrame[f])
+		}
+		return tr.Finish()
+	}
+	t64 := run(nn.Float64)
+	t32 := run(nn.Float32)
+	if len(t32) == 0 {
+		t.Fatal("float32 pair tracker produced no tracks")
+	}
+	// The stream's objects are far apart and the scores decisive, so the
+	// backends agree on the track count even though individual scores
+	// differ in the last bits.
+	if len(t32) != len(t64) {
+		t.Errorf("float32 pair tracker built %d tracks, float64 %d", len(t32), len(t64))
+	}
+}

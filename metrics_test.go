@@ -4,18 +4,29 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"otif"
 )
 
-// deterministicParts strips the live gauges from a snapshot. Counters,
-// per-stage costs and histograms are deterministic for a given sequence of
-// operations at any worker count; cache hit/miss gauges depend on worker
-// interleaving (two workers can race to miss the same key) and are
-// excluded from determinism comparisons.
+// deterministicParts strips the live gauges and the pool traffic counters
+// from a snapshot. The remaining counters, per-stage costs and histograms
+// are deterministic for a given sequence of operations at any worker
+// count; cache hit/miss gauges depend on worker interleaving (two workers
+// can race to miss the same key), and sync.Pool hit/miss counters depend
+// both on interleaving and on the runtime itself (race-enabled builds
+// randomly drop pooled items), so both are excluded from determinism
+// comparisons.
 func deterministicParts(s otif.MetricsSnapshot) otif.MetricsSnapshot {
 	s.Gauges = nil
+	counters := make(map[string]int64, len(s.Counters))
+	for k, v := range s.Counters {
+		if !strings.Contains(k, ".pool.") {
+			counters[k] = v
+		}
+	}
+	s.Counters = counters
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"otif/internal/core"
 	"otif/internal/dataset"
+	"otif/internal/nn"
 	"otif/internal/obs"
 	"otif/internal/parallel"
 	"otif/internal/query"
@@ -44,6 +45,25 @@ func SetPrefetch(k int) { video.SetPrefetchDepth(k) }
 
 // Prefetch reports the current decode-ahead depth (0 when disabled).
 func Prefetch() int { return video.PrefetchDepth() }
+
+// SetPrecision selects the numeric backend for pipeline inference:
+// "float64" (the default — the bit-exact reference, also used by training
+// and tuning regardless of this setting) or "float32" (register-blocked
+// kernels with trained weights converted once; faster, with accuracy
+// within the tolerance DESIGN.md §13 documents and the tests pin). The
+// setting takes effect at the next run: each RunClip/RunSet samples it
+// once on entry, so runs are never torn by a concurrent change.
+func SetPrecision(name string) error {
+	p, err := nn.ParsePrecision(name)
+	if err != nil {
+		return fmt.Errorf("otif: %w", err)
+	}
+	nn.SetPrecision(p)
+	return nil
+}
+
+// Precision reports the active numeric backend ("float64" or "float32").
+func Precision() string { return nn.ActivePrecision().String() }
 
 // SetName selects one of a pipeline's clip sets.
 type SetName string
