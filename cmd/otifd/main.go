@@ -6,7 +6,7 @@
 //	GET  /healthz               liveness
 //	GET  /readyz                readiness (503 until train+tune finish)
 //	GET  /jobs                  job records (JSON)
-//	POST /jobs                  submit {"kind":"tune"|"extract","params":{...}}
+//	POST /jobs                  submit {"kind":"tune"|"extract"|"stream","params":{...}}
 //	GET  /jobs/{id}             one job record
 //	GET  /jobs/{id}/events      live job progress (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
@@ -14,17 +14,22 @@
 //	GET  /query/breakdown       track set: counts, path breakdown,
 //	GET  /query/limit           frame-level limit queries and dwell
 //	POST /query/dwell           times (503 until tracks are loaded)
+//	GET  /streams               streaming ingest status (JSON)
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
 //
 // The query endpoints answer from the indexed track store. Tracks come
-// from a successful extract job, or immediately at startup from a stored
-// track file (-tracks), in which case queries work before the pipeline
-// finishes training.
+// from a successful extract job, immediately at startup from a stored
+// track file (-tracks, in which case queries work before the pipeline
+// finishes training), or incrementally from a running stream job: while
+// streaming ingest is active, /query/* answers from the live store's
+// latest immutable snapshot, so results grow clip by clip without ever
+// exposing a torn index.
 //
 //	otifd -dataset caldot1                        # default address :8080
 //	otifd -addr 127.0.0.1:0 -clips 2 -seconds 2   # tiny instance, random port
 //	otifd -tracks caldot1.tracks                  # serve queries from a stored file
+//	otifd -stream -stream-cameras 2               # stream 2 simulated cameras once ready
 //	otifd -log json -log-level debug              # structured logs on stderr
 //
 // Scraping, streaming and logging never change pipeline results:
@@ -71,6 +76,13 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		ringCap  = flag.Int("events", 256, "buffered progress events retained per job")
 		tracksF  = flag.String("tracks", "", "serve /query/* from this stored track file at startup")
+
+		stream         = flag.Bool("stream", false, "start streaming ingest once the pipeline is ready")
+		streamCams     = flag.Int("stream-cameras", 2, "simulated camera count for -stream")
+		streamClips    = flag.Int("stream-clips", 0, "clips per camera for -stream (0 = unbounded)")
+		streamInterval = flag.Duration("stream-interval", 0, "per-camera clip emission interval for -stream (0 = as fast as backpressure allows)")
+		streamQueue    = flag.Int("stream-queue", 0, "shared ingest queue depth (0 = twice the worker count)")
+		streamDrop     = flag.Bool("stream-drop", false, "shed clips instead of blocking cameras when the ingest queue is full")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
@@ -113,10 +125,12 @@ func main() {
 	mgr := serve.NewManager(*ringCap)
 	mgr.Register("tune", d.runTune)
 	mgr.Register("extract", d.runExtract)
+	mgr.Register("stream", d.runStream)
 	srv := &serve.Server{
 		Manager: mgr,
 		Ready:   d.ready.Load,
 		Queries: &serve.QueryAPI{Store: d.store, Movements: d.movements},
+		Streams: d.streams,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -150,6 +164,22 @@ func main() {
 		}
 		d.ready.Store(true)
 		logf.Info("otifd: ready", "dataset", *name, "startup", time.Since(start).Round(time.Millisecond).String())
+		if *stream {
+			// -stream runs through the job manager so /jobs and the SSE
+			// event stream cover it like any submitted stream job.
+			job, err := mgr.Submit("stream", map[string]string{
+				"cameras":  strconv.Itoa(*streamCams),
+				"clips":    strconv.Itoa(*streamClips),
+				"interval": streamInterval.String(),
+				"queue":    strconv.Itoa(*streamQueue),
+				"drop":     strconv.FormatBool(*streamDrop),
+			})
+			if err != nil {
+				logf.Error("otifd: stream start failed", "error", err)
+				return
+			}
+			logf.Info("otifd: streaming", "job", job.ID(), "cameras", *streamCams)
+		}
 	}()
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -186,16 +216,36 @@ type daemon struct {
 	relay  atomic.Pointer[obs.Progress]
 	ready  atomic.Bool
 	tracks atomic.Pointer[otif.TrackSet]
+
+	// session is the active streaming ingest, nil when idle; streaming
+	// holds the single-stream gate (at most one stream job runs at once).
+	session   atomic.Pointer[otif.IngestSession]
+	streaming atomic.Bool
 }
 
-// store exposes the current track set's index to the /query endpoints.
-// It swaps atomically when an extract job completes, so queries always
-// see a complete, immutable track set.
+// store exposes the current track store to the /query endpoints. While a
+// stream job runs, queries answer from the live store's latest snapshot —
+// each snapshot is immutable, so a query concurrent with clip publication
+// never observes a torn index. Otherwise the last published track set
+// serves (an extract job's output or a -tracks file).
 func (d *daemon) store() *store.Store {
+	if s := d.session.Load(); s != nil {
+		if snap := s.Store(); snap.Clips() > 0 {
+			return snap
+		}
+	}
 	if ts := d.tracks.Load(); ts != nil {
 		return ts.Index()
 	}
 	return nil
+}
+
+// streams reports the active ingest session's stats for GET /streams.
+func (d *daemon) streams() (otif.IngestStats, bool) {
+	if s := d.session.Load(); s != nil {
+		return s.Stats(), true
+	}
+	return otif.IngestStats{}, false
 }
 
 // movements exposes the dataset's labeled movements for /query/breakdown
@@ -288,6 +338,96 @@ func (d *daemon) runExtract(ctx context.Context, job *serve.Job, progress obs.Pr
 		"clips":    len(ts.PerClip),
 		"runtime":  ts.Runtime,
 		"accuracy": acc,
+	}, nil
+}
+
+// runStream runs one streaming ingest session until its cameras are
+// exhausted or the job is canceled. Unlike tune and extract it does not
+// hold the pipeline mutex: ingest only reads trained state, so tune and
+// extract jobs stay submittable while a stream runs. Progress events
+// (one per published clip) flow to the job's SSE stream. Params:
+// "cameras", "clips" (per camera, 0 = unbounded), "interval" (Go
+// duration), "queue" (depth, 0 = default), "drop" (true sheds clips when
+// the queue is full), "seconds" (clip duration, 0 = dataset default).
+func (d *daemon) runStream(ctx context.Context, job *serve.Job, progress obs.Progress) (any, error) {
+	if !d.ready.Load() {
+		return nil, errors.New("otifd: pipeline not ready (training or tuning still running)")
+	}
+	if !d.streaming.CompareAndSwap(false, true) {
+		return nil, errors.New("otifd: a stream job is already running")
+	}
+	defer d.streaming.Store(false)
+	d.mu.Lock()
+	pipe := d.pipe
+	d.mu.Unlock()
+
+	opts := []otif.IngestOption{otif.WithStreamProgress(progress)}
+	v := job.View()
+	atoi := func(key string) (int, error) {
+		s := v.Params[key]
+		if s == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("otifd: bad %s %q: %w", key, s, err)
+		}
+		return n, nil
+	}
+	cams, err := atoi("cameras")
+	if err != nil {
+		return nil, err
+	}
+	if cams > 0 {
+		opts = append(opts, otif.WithCameras(cams))
+	}
+	if n, err := atoi("clips"); err != nil {
+		return nil, err
+	} else if n > 0 {
+		opts = append(opts, otif.WithCameraClips(n))
+	}
+	if n, err := atoi("queue"); err != nil {
+		return nil, err
+	} else if n > 0 {
+		opts = append(opts, otif.WithQueueDepth(n))
+	}
+	if s := v.Params["interval"]; s != "" {
+		iv, err := time.ParseDuration(s)
+		if err != nil {
+			return nil, fmt.Errorf("otifd: bad interval %q: %w", s, err)
+		}
+		opts = append(opts, otif.WithStreamInterval(iv))
+	}
+	if s := v.Params["seconds"]; s != "" {
+		secs, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("otifd: bad seconds %q: %w", s, err)
+		}
+		opts = append(opts, otif.WithStreamClipSeconds(secs))
+	}
+	if v.Params["drop"] == "true" {
+		opts = append(opts, otif.WithDropWhenFull(true))
+	}
+
+	sess, err := pipe.Ingest(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d.session.Store(sess)
+	waitErr := sess.Wait()
+	st := sess.Stats()
+	if st.ClipsIngested > 0 {
+		// Keep the streamed tracks queryable after the session ends.
+		d.tracks.Store(sess.Tracks())
+	}
+	d.session.Store(nil)
+	if waitErr != nil && !errors.Is(waitErr, context.Canceled) {
+		return nil, waitErr
+	}
+	return map[string]any{
+		"clips":   st.ClipsIngested,
+		"dropped": st.ClipsDropped,
+		"runtime": st.Runtime,
 	}, nil
 }
 

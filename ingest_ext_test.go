@@ -1,0 +1,97 @@
+package otif_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"otif"
+)
+
+func TestIngestSessionEndToEnd(t *testing.T) {
+	pipe, _ := pipeline(t)
+	sess, err := pipe.Ingest(context.Background(),
+		otif.WithCameras(2), otif.WithCameraClips(2), otif.WithStreamClipSeconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st := sess.Stats()
+	if st.ClipsIngested != 4 || st.ClipsDropped != 0 {
+		t.Fatalf("stats = %+v, want 4 ingested", st)
+	}
+	if len(st.Cameras) != 2 || st.Cameras[0].Name != "caldot1-cam0" {
+		t.Fatalf("camera stats = %+v", st.Cameras)
+	}
+	if got := sess.Store().Clips(); got != 4 {
+		t.Fatalf("store clips = %d, want 4", got)
+	}
+	if got := len(sess.Published()); got != 4 {
+		t.Fatalf("published log has %d entries, want 4", got)
+	}
+
+	ts := sess.Tracks()
+	if got := len(ts.CountTracks("car")); got != 4 {
+		t.Fatalf("TrackSet has %d clips, want 4", got)
+	}
+	if ts.Runtime <= 0 {
+		t.Error("TrackSet runtime not carried over from session")
+	}
+	// The TrackSet adopts the live store's already-built index rather than
+	// rebuilding it.
+	if ts.Index() != sess.Store() {
+		t.Error("TrackSet.Index rebuilt the index instead of adopting the live store snapshot")
+	}
+}
+
+func TestIngestRequiresTraining(t *testing.T) {
+	pipe, err := otif.Open("caldot1", otif.Options{ClipsPerSet: 1, ClipSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Ingest(context.Background()); !errors.Is(err, otif.ErrNotTrained) {
+		t.Fatalf("Ingest before Train = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestKnobOptionsOnOpen(t *testing.T) {
+	oldPar, oldPre := otif.Parallelism(), otif.Prefetch()
+	defer func() {
+		otif.SetParallelism(oldPar)
+		otif.SetPrefetch(oldPre)
+		otif.SetCacheMB(64)
+	}()
+	if _, err := otif.OpenWith("caldot1",
+		otif.WithClips(1), otif.WithClipSeconds(2),
+		otif.WithParallelism(2), otif.WithCacheMB(32), otif.WithPrefetch(3),
+		otif.WithPrecision("float64")); err != nil {
+		t.Fatal(err)
+	}
+	if got := otif.Parallelism(); got != 2 {
+		t.Errorf("Parallelism = %d after WithParallelism(2)", got)
+	}
+	if got := otif.Prefetch(); got != 3 {
+		t.Errorf("Prefetch = %d after WithPrefetch(3)", got)
+	}
+
+	_, err := otif.OpenWith("caldot1", otif.WithClips(1), otif.WithClipSeconds(2),
+		otif.WithPrecision("float128"))
+	if err == nil {
+		t.Fatal("WithPrecision with unknown backend must fail OpenWith")
+	}
+	for _, name := range []string{"float64", "float32"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("precision error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestKnobOptionsOnIngest(t *testing.T) {
+	pipe, _ := pipeline(t)
+	if _, err := pipe.Ingest(context.Background(), otif.WithPrecision("bogus")); err == nil {
+		t.Fatal("Ingest with unknown precision must fail")
+	}
+}

@@ -46,6 +46,17 @@ func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountan
 	return s.runClip(context.Background(), cfg, clip, acct, false, nn.ActivePrecision())
 }
 
+// RunClipStream is the streaming-ingest entry point: it executes one clip
+// in pooled mode (detection arenas and scratch recycled, DetsByFrame not
+// retained) under an explicitly supplied compute backend. Ingest sessions
+// sample nn.ActivePrecision() once at session start and pass it for every
+// clip, so a long-lived stream is never torn by a concurrent precision
+// change — the same once-per-entry-point contract RunSetContext keeps for
+// batch extraction.
+func (s *System) RunClipStream(ctx context.Context, cfg Config, clip *video.Clip, acct *costmodel.Accountant, prec nn.Precision) *ClipResult {
+	return s.runClip(ctx, cfg, clip, acct, true, prec)
+}
+
 // runClip is RunClip with a context bounding the reader's decode-ahead
 // producer and an option to run in pooled mode. Pooled mode is for callers
 // that only need the tracks: detection slices are carved from a pooled

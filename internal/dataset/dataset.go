@@ -57,6 +57,36 @@ type Instance struct {
 	Train       []*ClipTruth
 	Val         []*ClipTruth
 	Test        []*ClipTruth
+
+	// seed is the sampling seed Build was called with, retained so Camera
+	// can derive clip seeds disjoint from the train/val/test ranges.
+	seed int64
+}
+
+// Camera returns a deterministic, unbounded clip generator simulating one
+// live camera pointed at the dataset's scene: clip i is an independently
+// seeded world of clipSeconds duration (the instance's spec duration when
+// clipSeconds <= 0). Camera feeds are the input side of streaming ingest —
+// footage that keeps arriving rather than a fixed sampled set. Seeds are
+// disjoint from the train/val/test ranges and between cameras (for
+// i < 1000 clips per camera), so streamed clips never replay training
+// footage, and the same (cam, i) always yields bit-identical frames —
+// which is what makes streamed extraction reproducible and testable.
+func (in *Instance) Camera(cam int, clipSeconds float64) func(i int) *ClipTruth {
+	if clipSeconds <= 0 {
+		clipSeconds = in.Spec.ClipSeconds
+	}
+	// Train/val/test occupy seed*1000 + {100, 200, 300} + i with
+	// i < Spec.Clips; cameras start at +1000 with a 1000-clip stride.
+	base := in.seed*1000 + 1000 + int64(cam)*1000
+	cfg := in.Cfg
+	return func(i int) *ClipTruth {
+		w := vidsim.NewWorld(cfg, clipSeconds, base+int64(i))
+		return &ClipTruth{
+			Clip:  &video.Clip{ID: i, Source: video.NewCachedSource(&vidsim.Source{World: w})},
+			World: w,
+		}
+	}
 }
 
 // LaneNames returns the distinct lane (movement) names of the dataset in
@@ -87,7 +117,7 @@ func Build(name string, spec SetSpec, seed int64) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := &Instance{Name: name, Cfg: cfg, FixedCamera: fixed, Spec: spec}
+	in := &Instance{Name: name, Cfg: cfg, FixedCamera: fixed, Spec: spec, seed: seed}
 	in.Train = sampleSet(cfg, spec, seed*1000+100)
 	in.Val = sampleSet(cfg, spec, seed*1000+200)
 	in.Test = sampleSet(cfg, spec, seed*1000+300)

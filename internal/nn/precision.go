@@ -53,7 +53,7 @@ func ParsePrecision(s string) (Precision, error) {
 	case "float32", "f32", "32":
 		return Float32, nil
 	}
-	return Float64, fmt.Errorf("nn: unknown precision %q (want float64 or float32)", s)
+	return Float64, fmt.Errorf(`nn: unknown precision %q (valid: "float64", "f64", "64", "float32", "f32", "32")`, s)
 }
 
 // activePrecision is the process-wide backend selection. Stored atomically

@@ -27,6 +27,10 @@ const (
 	// EventCacheSnapshot reports the frame cache hit rate (emitted after
 	// the tuner's caching phase). CacheHitRate is set.
 	EventCacheSnapshot EventKind = "cache"
+	// EventIngestClip reports one streamed clip publishing to the live
+	// store. Index is the clip's position in the published store, Config
+	// carries the camera name, and Runtime the clip's simulated cost.
+	EventIngestClip EventKind = "ingest.clip"
 )
 
 // Event is one structured progress notification. Only the fields

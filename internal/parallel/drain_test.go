@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDrainProcessesEveryItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		const n = 200
+		ch := make(chan int, 16)
+		go func() {
+			for i := 0; i < n; i++ {
+				ch <- i
+			}
+			close(ch)
+		}()
+		var mu sync.Mutex
+		seen := make(map[int]bool, n)
+		if err := Drain(context.Background(), ch, func(i int) {
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("workers=%d: Drain returned %v", workers, err)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: processed %d items, want %d", workers, len(seen), n)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestDrainCancelStopsClaiming(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan int) // unbuffered: producer blocks until a worker receives
+	var processed atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- Drain(ctx, ch, func(int) {
+			processed.Add(1)
+		})
+	}()
+	// Feed a few items, then cancel; the producer stops feeding so Drain's
+	// exit proves cancellation (the channel is never closed).
+	for i := 0; i < 5; i++ {
+		ch <- i
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Drain returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after cancellation")
+	}
+	if got := processed.Load(); got > 5 {
+		t.Fatalf("processed %d items, fed only 5", got)
+	}
+}
+
+func TestDrainPanicPropagates(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	ch := make(chan int, 64)
+	for i := 0; i < 64; i++ {
+		ch <- i
+	}
+	close(ch)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Drain swallowed the worker panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Drain(context.Background(), ch, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}

@@ -139,3 +139,70 @@ func Map[T any](n int, fn func(i int) T) []T {
 	})
 	return out
 }
+
+// Drain runs fn over items received from ch on up to Workers() goroutines
+// until ch is closed and empty, then returns. It is the open-ended form
+// of the pool: For and Map fan out a known index range, Drain fans out a
+// stream whose length is unknown in advance (the streaming-ingest work
+// queue). Item-to-worker assignment is unspecified, so callers needing
+// ordered results must carry identity in the items themselves.
+//
+// Cancellation mirrors ForContext: workers check ctx before receiving
+// each item, so once ctx is canceled no new items are claimed, in-flight
+// fn calls run to completion and every worker exits before Drain returns.
+// Items left in the channel after cancellation are NOT consumed — the
+// producer side owns draining or abandoning them. The return value is
+// ctx.Err() if the context was canceled, nil otherwise.
+//
+// A panicking fn stops all workers and re-panics in the calling
+// goroutine, like For.
+func Drain[T any](ctx context.Context, ch <-chan T, fn func(T)) error {
+	w := Workers()
+	if w < 1 {
+		w = 1
+	}
+	var panicOnce sync.Once
+	var panicked any
+	stop := make(chan struct{}) // closed on first panic: siblings exit promptly
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = r
+						close(stop)
+					})
+				}
+			}()
+			for {
+				// A closed ctx or a sibling panic wins over pending items.
+				select {
+				case <-ctx.Done():
+					return
+				case <-stop:
+					return
+				default:
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-stop:
+					return
+				case item, ok := <-ch:
+					if !ok {
+						return
+					}
+					fn(item)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: worker panic: %v", panicked))
+	}
+	return ctx.Err()
+}

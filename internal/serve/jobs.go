@@ -44,7 +44,8 @@ func (s JobState) Terminal() bool {
 
 // JobEvent is one entry of a job's event stream: either a lifecycle
 // transition (Kind "state") or a pipeline progress event (Kind is the
-// obs event kind: "tune.iter", "tune.candidate", "clip", "cache"). Seq
+// obs event kind: "tune.iter", "tune.candidate", "clip", "cache",
+// "ingest.clip"). Seq
 // numbers are per-job, contiguous from 1; a gap at an SSE client means
 // the bounded ring evicted events faster than the client read them.
 type JobEvent struct {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"otif/internal/ingest"
 	"otif/internal/obs"
 )
 
@@ -21,6 +22,7 @@ import (
 //	GET  /jobs/{id}/events      the job's event stream (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
 //	     /query/*               indexed track queries (see QueryAPI)
+//	GET  /streams               streaming ingest status (JSON)
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
 type Server struct {
@@ -32,6 +34,10 @@ type Server struct {
 	Queries *QueryAPI
 	// Ready gates /readyz; nil means always ready.
 	Ready func() bool
+	// Streams reports the active ingest session's stats for GET /streams;
+	// ok is false when no session is streaming. nil serves 404 for the
+	// endpoint.
+	Streams func() (ingest.Stats, bool)
 	// Prefix namespaces exported metric names; empty selects DefaultPrefix.
 	Prefix string
 }
@@ -62,6 +68,9 @@ func (s *Server) Handler() http.Handler {
 	if s.Queries != nil {
 		s.Queries.register(mux)
 	}
+	if s.Streams != nil {
+		mux.HandleFunc("GET /streams", s.handleStreams)
+	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -83,6 +92,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := WritePrometheus(w, s.registry().Snapshot(), s.Prefix); err != nil && obs.Log() != nil {
 		obs.Log().Warn("otifd: metrics write failed", "error", err)
 	}
+}
+
+// handleStreams reports streaming ingest status. It always answers 200 so
+// pollers need no error handling: {"streaming": false} when idle, the
+// session's stats inline when a stream is active.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Streams()
+	if !ok {
+		writeJSON(w, http.StatusOK, map[string]any{"streaming": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streaming": true, "stats": st})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

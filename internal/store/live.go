@@ -1,0 +1,68 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"otif/internal/query"
+)
+
+// Live is the mutable front of the indexed track store for streaming
+// ingest: an append-only sequence of immutable Store snapshots. Each
+// Append builds one clip's flat indexes (the same segment build New runs
+// per clip) outside any lock, then publishes a new Store value that
+// shares every previously built clipIndex — snapshot publication is one
+// atomic pointer swap, so readers always see a fully consistent store:
+// either the snapshot before a clip landed or the one after, never a
+// torn index.
+//
+// Because a clipIndex is immutable after buildClipIndex returns and the
+// clips slice is copied (never appended in place) on publish, an old
+// snapshot held by an in-flight query remains valid and unchanged for as
+// long as the caller keeps it. The incremental path is bit-identical to
+// a full rebuild: appending clips one at a time yields exactly the
+// indexes store.New would build over the same clip sequence (pinned by
+// the differential test in live_test.go).
+//
+// Appends are serialized by a mutex; any number of concurrent readers
+// proceed lock-free through Snapshot.
+type Live struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Store]
+}
+
+// NewLive creates a live store with zero clips published, using the given
+// clip geometry for every future segment.
+func NewLive(ctx query.Context) *Live {
+	l := &Live{}
+	l.cur.Store(&Store{ctx: ctx})
+	return l
+}
+
+// Snapshot returns the current published store. The returned Store is
+// immutable and safe for concurrent queries; it never changes as further
+// clips append.
+func (l *Live) Snapshot() *Store { return l.cur.Load() }
+
+// Clips returns the number of clips in the current snapshot.
+func (l *Live) Clips() int { return len(l.cur.Load().clips) }
+
+// Append indexes one extracted clip's tracks and atomically publishes a
+// new snapshot containing it. tracks is retained (not copied) and must
+// not be mutated afterwards, exactly like New's contract. It returns the
+// clip's index in the new snapshot.
+func (l *Live) Append(tracks []*query.Track) int {
+	// The segment build is the expensive part; run it outside the lock so
+	// concurrent appenders only serialize on the pointer swap.
+	ctx := l.cur.Load().ctx
+	seg := buildClipIndex(tracks, ctx)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.cur.Load()
+	clips := make([]clipIndex, len(old.clips)+1)
+	copy(clips, old.clips)
+	clips[len(old.clips)] = seg
+	l.cur.Store(&Store{clips: clips, ctx: old.ctx, SelfCheck: old.SelfCheck})
+	return len(clips) - 1
+}

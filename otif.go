@@ -110,11 +110,20 @@ func Open(name string, opts Options) (*Pipeline, error) {
 }
 
 // OpenWith is Open with functional options: WithSeed, WithClips,
-// WithClipSeconds, WithProgress, or a whole Options struct via WithOptions.
+// WithClipSeconds, WithProgress, a whole Options struct via WithOptions,
+// or the performance knobs (WithParallelism, WithCacheMB, WithPrefetch,
+// WithPrecision). Knobs delegate to the package Set* functions and apply
+// when OpenWith runs; see the package documentation for the precedence
+// rule.
 func OpenWith(name string, options ...Option) (*Pipeline, error) {
 	var c openConfig
 	for _, o := range options {
-		o(&c)
+		o.applyOpen(&c)
+	}
+	for _, k := range c.knobs {
+		if err := k(); err != nil {
+			return nil, err
+		}
 	}
 	spec := dataset.DefaultSpec
 	if c.opts.ClipsPerSet > 0 {
