@@ -47,7 +47,9 @@ func main() {
 		prec     = flag.String("precision", "float64", "inference numeric backend: float64 (bit-exact reference) or float32 (faster, tolerance-tested)")
 		metricsF = flag.Bool("metrics", false, "print the per-stage cost breakdown of one test-set extraction (next to BENCH JSON) and exit")
 		metricsO = flag.String("metrics-out", "", "write the per-stage cost breakdown as JSON to this file and exit (combines with -metrics)")
-		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file on exit")
+		traceOut = flag.String("trace-out", "", "record spans in the flight recorder and write them to this file on exit")
+		traceFmt = flag.String("trace-format", "otif", "trace file format for -trace-out: otif (span JSON) or chrome (Perfetto-loadable trace events)")
+		traceCap = flag.Int("trace-spans", 0, "flight-recorder span capacity for -trace-out (0 = default); oldest spans are overwritten when full")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*nworkers)
@@ -59,8 +61,12 @@ func main() {
 	} else {
 		nn.SetPrecision(p)
 	}
+	if *traceFmt != "otif" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "benchtables: bad -trace-format %q (want otif or chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
 	if *traceOut != "" {
-		obs.EnableTracing(0)
+		obs.EnableTracing(*traceCap)
 		defer func() {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -68,11 +74,18 @@ func main() {
 				return
 			}
 			defer f.Close()
-			if err := obs.CurrentTracer().WriteJSON(f); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtables:", err)
+			rec := obs.CurrentRecorder()
+			var werr error
+			if *traceFmt == "chrome" {
+				werr = rec.WriteChrome(f)
+			} else {
+				werr = rec.WriteJSON(f)
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "benchtables:", werr)
 				return
 			}
-			fmt.Println("wrote span trace to", *traceOut)
+			fmt.Printf("wrote span trace (%s format) to %s\n", *traceFmt, *traceOut)
 		}()
 	}
 

@@ -35,7 +35,9 @@ func main() {
 		prefetch = flag.Int("prefetch", otif.Prefetch(), "decode-ahead depth in frames (<= 0 disables); results are identical at any setting")
 		prec     = flag.String("precision", "float64", "inference numeric backend: float64 (bit-exact reference) or float32 (faster, tolerance-tested)")
 		metricsF = flag.Bool("metrics", false, "print the metrics registry (text form) after the run")
-		traceOut = flag.String("trace-out", "", "record span traces and write them as JSON to this file")
+		traceOut = flag.String("trace-out", "", "record spans in the flight recorder and write them to this file")
+		traceFmt = flag.String("trace-format", "otif", "trace file format for -trace-out: otif (span JSON) or chrome (Perfetto-loadable trace events)")
+		traceCap = flag.Int("trace-spans", 0, "flight-recorder span capacity for -trace-out (0 = default); oldest spans are overwritten when full")
 	)
 	flag.Parse()
 	otif.SetParallelism(*nwork)
@@ -45,8 +47,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "otif:", err)
 		os.Exit(2)
 	}
+	if *traceFmt != "otif" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "otif: bad -trace-format %q (want otif or chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
 	if *traceOut != "" {
-		otif.EnableTracing(0)
+		otif.EnableTracing(*traceCap)
 	}
 
 	if *list {
@@ -85,7 +91,7 @@ func main() {
 			}
 		}
 		fmt.Printf("  average visible cars per clip: %.1f...\n", mean(ts.Query().Category("car").AvgVisible()))
-		finish(*metricsF, *traceOut)
+		finish(*metricsF, *traceOut, *traceFmt)
 		return
 	}
 
@@ -135,7 +141,7 @@ func main() {
 		fmt.Printf("  %-55v rt=%8.2fs acc=%.3f\n", p.Cfg, p.Runtime, p.Accuracy)
 	}
 	if *curve {
-		finish(*metricsF, *traceOut)
+		finish(*metricsF, *traceOut, *traceFmt)
 		return
 	}
 
@@ -209,12 +215,13 @@ func main() {
 	avg := ts.AvgVisible("car")
 	fmt.Printf("  average visible cars per clip: %v\n", fmt.Sprintf("%.1f...", mean(avg)))
 
-	finish(*metricsF, *traceOut)
+	finish(*metricsF, *traceOut, *traceFmt)
 }
 
 // finish emits the optional observability outputs: the metrics registry in
-// text form on stdout, and the recorded span trace as JSON to a file.
-func finish(metrics bool, traceOut string) {
+// text form on stdout, and the flight recorder's spans to a file in the
+// selected trace format.
+func finish(metrics bool, traceOut, traceFmt string) {
 	if metrics {
 		fmt.Println("\nmetrics:")
 		snap := otif.Snapshot()
@@ -226,12 +233,18 @@ func finish(metrics bool, traceOut string) {
 			fmt.Fprintln(os.Stderr, "otif:", err)
 			os.Exit(1)
 		}
-		if err := otif.WriteTrace(f); err != nil {
-			fmt.Fprintln(os.Stderr, "otif:", err)
+		var werr error
+		if traceFmt == "chrome" {
+			werr = otif.WriteChromeTrace(f)
+		} else {
+			werr = otif.WriteTrace(f)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "otif:", werr)
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Println("wrote span trace to", traceOut)
+		fmt.Printf("wrote span trace (%s format) to %s\n", traceFmt, traceOut)
 	}
 }
 

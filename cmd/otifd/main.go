@@ -15,8 +15,18 @@
 //	GET  /query/limit           frame-level limit queries and dwell
 //	POST /query/dwell           times (503 until tracks are loaded)
 //	GET  /streams               streaming ingest status (JSON)
+//	GET  /debug/trace           flight-recorder spans (?format=otif|chrome)
+//	GET  /debug/slow            slowest /query/* requests with span subtrees
+//	GET  /debug/bundle          one-shot tar.gz post-mortem artifact
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
+//
+// The flight recorder is on by default: a fixed-capacity ring of spans
+// (-trace-spans, default 16384) overwrites oldest-first, so the daemon
+// always holds its most recent window of activity under bounded memory.
+// -trace-out writes the retained spans to a file on graceful shutdown in
+// the -trace-format of choice; GET /debug/trace serves the same data
+// live, and format=chrome loads directly in Perfetto.
 //
 // The query endpoints answer from the indexed track store. Tracks come
 // from a successful extract job, immediately at startup from a stored
@@ -76,6 +86,10 @@ func main() {
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		ringCap  = flag.Int("events", 256, "buffered progress events retained per job")
 		tracksF  = flag.String("tracks", "", "serve /query/* from this stored track file at startup")
+		traceCap = flag.Int("trace-spans", obs.DefaultRecorderSpans, "flight-recorder span capacity (<= 0 disables tracing); oldest spans are overwritten when full")
+		traceOut = flag.String("trace-out", "", "write the flight recorder's spans to this file on graceful shutdown")
+		traceFmt = flag.String("trace-format", "otif", "trace format for -trace-out: otif (span JSON) or chrome (Perfetto-loadable trace events)")
+		slowK    = flag.Int("slow-requests", serve.DefaultSlowRequests, "slowest /query/* requests retained for GET /debug/slow")
 
 		stream         = flag.Bool("stream", false, "start streaming ingest once the pipeline is ready")
 		streamCams     = flag.Int("stream-cameras", 2, "simulated camera count for -stream")
@@ -91,6 +105,16 @@ func main() {
 	if err := otif.SetPrecision(*prec); err != nil {
 		fmt.Fprintln(os.Stderr, "otifd:", err)
 		os.Exit(2)
+	}
+	if *traceFmt != "otif" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "otifd: bad -trace-format %q (want otif or chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
+	// The flight recorder is always-on by default: span recording is cheap
+	// (a ring-slot write under a sharded mutex) and the ring bounds memory,
+	// so a live daemon can always answer /debug/trace.
+	if *traceCap > 0 {
+		otif.EnableTracing(*traceCap)
 	}
 	logger, err := buildLogger(*logMode, *logLevel)
 	if err != nil {
@@ -131,6 +155,13 @@ func main() {
 		Ready:   d.ready.Load,
 		Queries: &serve.QueryAPI{Store: d.store, Movements: d.movements},
 		Streams: d.streams,
+		SlowK:   *slowK,
+		// The effective flag values, for the debug bundle's config.json.
+		Config: func() map[string]string {
+			m := map[string]string{}
+			flag.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+			return m
+		},
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -202,7 +233,32 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			httpSrv.Close()
 		}
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, *traceFmt); err != nil {
+				fmt.Fprintln(os.Stderr, "otifd:", err)
+				os.Exit(1)
+			}
+			logf.Info("otifd: trace written", "file", *traceOut, "format", *traceFmt)
+		}
 	}
+}
+
+// writeTraceFile dumps the flight recorder's retained spans on graceful
+// shutdown in the selected format.
+func writeTraceFile(path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "chrome" {
+		err = otif.WriteChromeTrace(f)
+	} else {
+		err = otif.WriteTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // daemon owns the pipeline behind the job runners. mu serializes

@@ -43,7 +43,11 @@ type ClipResult struct {
 // training-data collection); RunSet uses the pooled internal variant that
 // skips that retention and recycles per-clip buffers instead.
 func (s *System) RunClip(cfg Config, clip *video.Clip, acct *costmodel.Accountant) *ClipResult {
-	return s.runClip(context.Background(), cfg, clip, acct, false, nn.ActivePrecision())
+	prec := nn.ActivePrecision()
+	ctx, sp := obs.StartSpan(context.Background(), "run.clip")
+	sp.SetStage("extract").SetPrec(prec.String())
+	defer sp.End()
+	return s.runClip(ctx, cfg, clip, acct, false, prec)
 }
 
 // RunClipStream is the streaming-ingest entry point: it executes one clip
@@ -357,10 +361,12 @@ func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset
 	// SetPrecision affects the next RunSet, never part of this one.
 	prec := nn.ActivePrecision()
 	ctx, setSpan := obs.StartSpan(ctx, "run.set")
+	setSpan.SetStage("extract").SetPrec(prec.String())
 	defer setSpan.End()
 	err := parallel.ForContext(ctx, len(clips), func(i int) {
 		ct := clips[i]
 		clipCtx, clipSpan := obs.StartSpan(ctx, "run.clip")
+		clipSpan.SetClip(i).SetStage("extract").SetPrec(prec.String())
 		defer clipSpan.End()
 		acct := costmodel.NewAccountant()
 		res := s.runClip(clipCtx, cfg, ct.Clip, acct, true, prec)
@@ -382,6 +388,7 @@ func (s *System) RunSetContext(ctx context.Context, cfg Config, clips []*dataset
 	out.Runtime = acct.Total()
 	out.Breakdown = acct.Breakdown()
 	recordCosts(out.Breakdown)
+	setSpan.SetErr(err != nil)
 	// Boundary-level structured logging: one line per RunSet, only when a
 	// logger is installed (the nil default keeps deterministic benchmarks
 	// and the hot path quiet and allocation-free).

@@ -299,6 +299,7 @@ func (s *Session) produce(wg *sync.WaitGroup, ci int, cam Camera) {
 // cancellation.
 func (s *Session) work(it workItem) {
 	clipCtx, span := obs.StartSpan(s.ctx, "ingest.clip")
+	span.SetStage("ingest").SetCamera(s.cams[it.cam].name).SetClip(it.idx).SetPrec(s.prec.String())
 	defer span.End()
 	acct := costmodel.NewAccountant()
 	res := s.sys.RunClipStream(clipCtx, s.cfg, it.clip, acct, s.prec)

@@ -16,7 +16,7 @@ func TestRecordingZeroAlloc(t *testing.T) {
 	f := r.Cost("alloc.cost")
 	g := r.Gauge("alloc.gauge")
 	h := r.Histogram("alloc.hist", 1, 10, 100)
-	SetTracer(nil)
+	SetRecorder(nil)
 	ctx := context.Background()
 	var nilProgress Progress
 
@@ -31,6 +31,36 @@ func TestRecordingZeroAlloc(t *testing.T) {
 		nilProgress.Emit(Event{Kind: EventClip})
 	}); allocs != 0 {
 		t.Fatalf("instrumented hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanRecordingAllocGate is the alloc ceiling for the flight
+// recorder's hot path, pinned so the recorder can stay always-on in
+// otifd. Ending a span (the ring write) must not allocate at all; the
+// whole start-attribute-end cycle is allowed only the fixed context
+// plumbing of StartSpan (the span, the derived context, and the boxed
+// parent id — 3 allocations), with one slot of headroom.
+func TestSpanRecordingAllocGate(t *testing.T) {
+	EnableTracing(1 << 10)
+	defer SetRecorder(nil)
+	ctx := context.Background()
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "run.clip")
+		sp.SetCamera("cam0").SetClip(3).SetStage("extract").SetPrec("float64").SetErr(false)
+		sp.End()
+	}); allocs > 4 {
+		t.Fatalf("span record with recorder enabled allocates %.1f allocs/op, want <= 4", allocs)
+	}
+
+	// The End path alone — what the ring write itself costs — must be
+	// allocation-free: a pre-started span recycled across iterations ends
+	// with zero allocations.
+	_, sp := StartSpan(ctx, "run.clip")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("Span.End allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

@@ -103,6 +103,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add accumulates delta into the gauge with a lock-free compare-and-swap
+// (for up/down values like in-flight request counts).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -1,6 +1,8 @@
 // Package obs is OTIF's dependency-free observability layer: a metrics
 // registry of atomic counters, gauges and fixed-bucket histograms, a
-// lightweight span tracer, and a structured progress-event callback.
+// flight-recorder span tracer (a fixed-capacity ring of attributed spans
+// that overwrites oldest-first), and a structured progress-event
+// callback.
 //
 // The package is built around three constraints set by the pipeline it
 // instruments:
@@ -23,9 +25,11 @@
 //     breakdown is also bit-identical at any worker count.
 //
 //   - No global clock reads in deterministic paths. Span durations come
-//     from the monotonic clock and are recorded only; when no tracer is
-//     installed (the default) StartSpan touches no clock at all and
-//     returns a nil span whose End is a no-op.
+//     from the monotonic clock and are recorded only; when no flight
+//     recorder is installed (the library default) StartSpan touches no
+//     clock at all and returns a nil span whose End is a no-op. With a
+//     recorder installed, ending a span writes into a pre-allocated ring
+//     slot and allocates nothing.
 //
 // Default is the process-wide registry the pipeline records into; the
 // root otif package re-exports it as otif.Metrics() / otif.Snapshot().

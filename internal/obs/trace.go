@@ -4,102 +4,274 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Span tracing records named, parent-linked durations of pipeline stages
-// (RunSet, per-clip execution, tuner iterations). Tracing is off by
-// default: with no tracer installed, StartSpan reads no clock, allocates
-// nothing, and returns a nil *Span whose End is a no-op — so traced call
-// sites cost one atomic load on deterministic paths. When a tracer is
-// installed, durations come from the monotonic clock and are recorded
-// only; they never feed back into pipeline computation.
+// (RunSet, per-clip execution, tuner iterations, ingest clips, HTTP
+// requests) into a flight recorder: a fixed-capacity ring of attributed
+// spans that overwrites oldest-first, so a long-running daemon always
+// holds the most recent window of activity under bounded memory. The
+// recorder is cheap enough to leave on permanently — recording a finished
+// span writes into a pre-allocated slot under a sharded mutex and
+// allocates nothing — and with no recorder installed StartSpan reads no
+// clock, allocates nothing, and returns a nil *Span whose End is a no-op.
+// Durations come from the monotonic clock and are recorded only; they
+// never feed back into pipeline computation.
 
-// SpanRecord is one finished span.
+// DefaultRecorderSpans is the span capacity NewRecorder selects for a
+// non-positive request. At ~128 bytes per slot the default ring holds the
+// recent history of a busy daemon in a few megabytes.
+const DefaultRecorderSpans = 1 << 14
+
+// recorderShards is the number of independently locked ring segments.
+// Sequential span ids round-robin across shards, so concurrent workers
+// contend on different locks and single-threaded runs still retain
+// exactly the newest spans overall.
+const recorderShards = 8
+
+// SpanRecord is one finished span. Camera, Clip, Stage, Prec and Err are
+// the attribute set every exporter understands: which camera and clip the
+// span worked on, which pipeline stage it belongs to ("extract", "tune",
+// "ingest", "serve"), which compute backend it ran under, and whether it
+// ended in an error (a canceled run, a 5xx response).
 type SpanRecord struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
 	Name   string `json:"name"`
-	// StartNS is the span's start offset from the tracer's installation,
+	// StartNS is the span's start offset from the recorder's installation,
 	// DurNS its duration; both in monotonic nanoseconds.
 	StartNS int64 `json:"start_ns"`
 	DurNS   int64 `json:"dur_ns"`
+	// Camera names the stream source for ingest spans ("" when not
+	// camera-bound).
+	Camera string `json:"camera,omitempty"`
+	// Clip is the clip index the span processed; -1 when the span is not
+	// clip-scoped.
+	Clip  int    `json:"clip"`
+	Stage string `json:"stage,omitempty"`
+	Prec  string `json:"prec,omitempty"`
+	Err   bool   `json:"err,omitempty"`
 }
 
-// Tracer collects spans up to a fixed capacity (further spans are
-// counted but dropped, keeping memory bounded on long runs).
-type Tracer struct {
-	start   time.Time
-	max     int
-	ids     atomic.Uint64
-	dropped atomic.Int64
-
+// recorderShard is one independently locked segment of the ring.
+type recorderShard struct {
 	mu    sync.Mutex
-	spans []SpanRecord
+	buf   []SpanRecord
+	next  int    // next write slot
+	n     int    // filled slots (≤ len(buf))
+	total uint64 // spans ever written through this shard
 }
 
-// NewTracer creates a tracer retaining at most max spans (a non-positive
-// max keeps a generous default).
-func NewTracer(max int) *Tracer {
+// Recorder is the flight recorder: a fixed-capacity, overwrite-oldest
+// ring of finished spans. All methods are safe for concurrent use, and
+// every method tolerates a nil receiver (reporting an empty trace), so
+// exporters can run unconditionally.
+type Recorder struct {
+	start  time.Time
+	ids    atomic.Uint64
+	shards [recorderShards]recorderShard
+}
+
+// NewRecorder creates a recorder retaining at most max spans, rounded up
+// to a multiple of the shard count (a non-positive max selects
+// DefaultRecorderSpans). Memory is allocated up front; recording never
+// allocates.
+func NewRecorder(max int) *Recorder {
 	if max <= 0 {
-		max = 1 << 16
+		max = DefaultRecorderSpans
 	}
-	return &Tracer{start: time.Now(), max: max}
+	per := (max + recorderShards - 1) / recorderShards
+	r := &Recorder{start: time.Now()}
+	for i := range r.shards {
+		r.shards[i].buf = make([]SpanRecord, per)
+	}
+	return r
 }
 
-// Spans returns a copy of the recorded spans in completion order.
-func (t *Tracer) Spans() []SpanRecord {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]SpanRecord(nil), t.spans...)
+// Capacity reports how many spans the ring retains before overwriting.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards[0].buf) * recorderShards
 }
 
-// Dropped reports how many spans were discarded over capacity.
-func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+// record writes one finished span into its shard's ring slot, overwriting
+// the oldest span of that shard once full. Shard selection by span id
+// keeps concurrent workers on different locks.
+func (r *Recorder) record(rec SpanRecord) {
+	sh := &r.shards[rec.ID%recorderShards]
+	sh.mu.Lock()
+	sh.buf[sh.next] = rec
+	sh.next++
+	if sh.next == len(sh.buf) {
+		sh.next = 0
+	}
+	if sh.n < len(sh.buf) {
+		sh.n++
+	}
+	sh.total++
+	sh.mu.Unlock()
+}
 
-// WriteJSON writes the recorded spans as indented JSON.
-func (t *Tracer) WriteJSON(w io.Writer) error {
+// RecorderStats is a point-in-time summary of the ring's occupancy.
+type RecorderStats struct {
+	// Capacity is the ring size; Retained how many spans it currently
+	// holds; Recorded how many spans have ever been recorded; Overwritten
+	// how many were evicted oldest-first (Recorded - Retained).
+	Capacity    int    `json:"capacity"`
+	Retained    int    `json:"retained"`
+	Recorded    int64  `json:"recorded"`
+	Overwritten int64  `json:"overwritten"`
+	// Utilization is Retained / Capacity in [0, 1].
+	Utilization float64 `json:"utilization"`
+}
+
+// Stats summarizes the ring's occupancy.
+func (r *Recorder) Stats() RecorderStats {
+	st := RecorderStats{Capacity: r.Capacity()}
+	if r == nil {
+		return st
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		st.Retained += sh.n
+		st.Recorded += int64(sh.total)
+		sh.mu.Unlock()
+	}
+	st.Overwritten = st.Recorded - int64(st.Retained)
+	if st.Capacity > 0 {
+		st.Utilization = float64(st.Retained) / float64(st.Capacity)
+	}
+	return st
+}
+
+// Snapshot returns a copy of the retained spans ordered by start time
+// (ties by id, so a parent precedes its children).
+func (r *Recorder) Snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]SpanRecord, 0, r.Capacity())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if sh.n == len(sh.buf) {
+			out = append(out, sh.buf[sh.next:]...)
+			out = append(out, sh.buf[:sh.next]...)
+		} else {
+			out = append(out, sh.buf[:sh.n]...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Subtree returns the retained span with id root plus every retained
+// descendant, in start order. Spans whose ancestors were already
+// overwritten are simply absent — the subtree is best-effort over the
+// ring's current window.
+func (r *Recorder) Subtree(root uint64) []SpanRecord {
+	if r == nil || root == 0 {
+		return nil
+	}
+	all := r.Snapshot()
+	in := map[uint64]bool{root: true}
+	out := make([]SpanRecord, 0, 8)
+	// Snapshot order sorts parents before children (ids grow with start
+	// time along any parent chain), so one forward pass closes the set.
+	for _, s := range all {
+		if s.ID == root || in[s.Parent] {
+			in[s.ID] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the retained spans plus ring statistics as indented
+// JSON (the "otif" trace format). A nil recorder writes an empty trace.
+func (r *Recorder) WriteJSON(w io.Writer) error {
 	out := struct {
-		Spans   []SpanRecord `json:"spans"`
-		Dropped int64        `json:"dropped"`
-	}{Spans: t.Spans(), Dropped: t.Dropped()}
+		Spans []SpanRecord  `json:"spans"`
+		Stats RecorderStats `json:"stats"`
+	}{Spans: r.Snapshot(), Stats: r.Stats()}
+	if out.Spans == nil {
+		out.Spans = []SpanRecord{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
-// globalTracer is the installed tracer; nil means tracing is disabled.
-var globalTracer atomic.Pointer[Tracer]
+// globalRecorder is the installed flight recorder; nil means tracing is
+// disabled.
+var globalRecorder atomic.Pointer[Recorder]
 
-// SetTracer installs (or with nil, removes) the process-wide tracer.
-func SetTracer(t *Tracer) { globalTracer.Store(t) }
+// SetRecorder installs (or with nil, removes) the process-wide flight
+// recorder.
+func SetRecorder(r *Recorder) { globalRecorder.Store(r) }
 
-// EnableTracing installs a fresh process-wide tracer retaining at most
-// max spans and returns it.
-func EnableTracing(max int) *Tracer {
-	t := NewTracer(max)
-	SetTracer(t)
-	return t
+// EnableTracing installs a fresh process-wide flight recorder retaining
+// at most max spans and returns it.
+func EnableTracing(max int) *Recorder {
+	r := NewRecorder(max)
+	SetRecorder(r)
+	return r
 }
 
-// CurrentTracer returns the installed tracer, or nil when tracing is
-// disabled.
-func CurrentTracer() *Tracer { return globalTracer.Load() }
+// CurrentRecorder returns the installed flight recorder, or nil when
+// tracing is disabled.
+func CurrentRecorder() *Recorder { return globalRecorder.Load() }
+
+func init() {
+	// Ring occupancy is always scrapeable: before this group, overwritten
+	// span counts were only visible through WriteJSON.
+	Default.GaugeGroup(func() map[string]float64 {
+		r := CurrentRecorder()
+		if r == nil {
+			return nil
+		}
+		st := r.Stats()
+		return map[string]float64{
+			"trace.capacity":          float64(st.Capacity),
+			"trace.spans_retained":    float64(st.Retained),
+			"trace.spans_recorded":    float64(st.Recorded),
+			"trace.spans_overwritten": float64(st.Overwritten),
+			"trace.utilization":       st.Utilization,
+		}
+	})
+}
 
 // spanCtxKey carries the current span id through a context for parent
 // linking.
 type spanCtxKey struct{}
 
 // Span is one in-flight traced operation. A nil Span (returned when
-// tracing is disabled) is valid and End on it is a no-op.
+// tracing is disabled) is valid: every setter and End on it is a no-op.
 type Span struct {
-	tracer *Tracer
+	rec    *Recorder
 	id     uint64
 	parent uint64
 	name   string
 	begin  time.Time
+
+	camera string
+	clip   int
+	stage  string
+	prec   string
+	err    bool
 }
 
 // StartSpan begins a span named name under the span carried by ctx (if
@@ -107,34 +279,83 @@ type Span struct {
 // links. With tracing disabled it returns ctx unchanged and a nil span,
 // reading no clock and allocating nothing.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	t := globalTracer.Load()
-	if t == nil {
+	r := globalRecorder.Load()
+	if r == nil {
 		return ctx, nil
 	}
 	parent, _ := ctx.Value(spanCtxKey{}).(uint64)
-	s := &Span{tracer: t, id: t.ids.Add(1), parent: parent, name: name, begin: time.Now()}
+	s := &Span{rec: r, id: r.ids.Add(1), parent: parent, name: name, begin: time.Now(), clip: -1}
 	return context.WithValue(ctx, spanCtxKey{}, s.id), s
 }
 
-// End finishes the span, recording its monotonic duration.
+// ID returns the span's id (0 for a nil span), usable with
+// Recorder.Subtree after the span ends.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetCamera attributes the span to a named stream source.
+func (s *Span) SetCamera(camera string) *Span {
+	if s != nil {
+		s.camera = camera
+	}
+	return s
+}
+
+// SetClip attributes the span to a clip index.
+func (s *Span) SetClip(clip int) *Span {
+	if s != nil {
+		s.clip = clip
+	}
+	return s
+}
+
+// SetStage attributes the span to a pipeline stage ("extract", "tune",
+// "ingest", "serve").
+func (s *Span) SetStage(stage string) *Span {
+	if s != nil {
+		s.stage = stage
+	}
+	return s
+}
+
+// SetPrec attributes the span to a compute backend ("float64",
+// "float32").
+func (s *Span) SetPrec(prec string) *Span {
+	if s != nil {
+		s.prec = prec
+	}
+	return s
+}
+
+// SetErr flags the span as having ended in an error (a canceled run, a
+// 5xx response).
+func (s *Span) SetErr(err bool) *Span {
+	if s != nil {
+		s.err = err
+	}
+	return s
+}
+
+// End finishes the span, recording its monotonic duration and attributes
+// into the flight recorder. End never allocates.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	t := s.tracer
-	rec := SpanRecord{
+	s.rec.record(SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
 		Name:    s.name,
-		StartNS: s.begin.Sub(t.start).Nanoseconds(),
+		StartNS: s.begin.Sub(s.rec.start).Nanoseconds(),
 		DurNS:   time.Since(s.begin).Nanoseconds(),
-	}
-	t.mu.Lock()
-	if len(t.spans) < t.max {
-		t.spans = append(t.spans, rec)
-		t.mu.Unlock()
-		return
-	}
-	t.mu.Unlock()
-	t.dropped.Add(1)
+		Camera:  s.camera,
+		Clip:    s.clip,
+		Stage:   s.stage,
+		Prec:    s.prec,
+		Err:     s.err,
+	})
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestStartSpanDisabled(t *testing.T) {
-	SetTracer(nil)
+	SetRecorder(nil)
 	ctx := context.Background()
 	got, sp := StartSpan(ctx, "noop")
 	if got != ctx {
@@ -17,12 +17,17 @@ func TestStartSpanDisabled(t *testing.T) {
 	if sp != nil {
 		t.Error("disabled StartSpan must return a nil span")
 	}
-	sp.End() // must not panic
+	// Every operation on a nil span must be a no-op, not a panic.
+	sp.SetCamera("cam0").SetClip(1).SetStage("extract").SetPrec("float64").SetErr(true)
+	if sp.ID() != 0 {
+		t.Error("nil span must report id 0")
+	}
+	sp.End()
 }
 
 func TestSpanParentLinks(t *testing.T) {
 	tr := EnableTracing(16)
-	defer SetTracer(nil)
+	defer SetRecorder(nil)
 
 	ctx, outer := StartSpan(context.Background(), "runset")
 	cctx, inner := StartSpan(ctx, "clip")
@@ -30,43 +35,109 @@ func TestSpanParentLinks(t *testing.T) {
 	inner.End()
 	outer.End()
 
-	spans := tr.Spans()
+	spans := tr.Snapshot()
 	if len(spans) != 2 {
 		t.Fatalf("recorded %d spans, want 2", len(spans))
 	}
-	// Completion order: inner first.
-	if spans[0].Name != "clip" || spans[1].Name != "runset" {
+	// Snapshot order: by start time, outer first.
+	if spans[0].Name != "runset" || spans[1].Name != "clip" {
 		t.Fatalf("span names = %q, %q", spans[0].Name, spans[1].Name)
 	}
-	if spans[0].Parent != spans[1].ID {
-		t.Errorf("clip parent = %d, want runset id %d", spans[0].Parent, spans[1].ID)
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("clip parent = %d, want runset id %d", spans[1].Parent, spans[0].ID)
 	}
-	if spans[1].Parent != 0 {
-		t.Errorf("root span parent = %d, want 0", spans[1].Parent)
+	if spans[0].Parent != 0 {
+		t.Errorf("root span parent = %d, want 0", spans[0].Parent)
 	}
-	if spans[0].DurNS < 0 || spans[1].DurNS < spans[0].DurNS {
+	if spans[1].DurNS < 0 || spans[0].DurNS < spans[1].DurNS {
 		t.Errorf("durations not monotonic: %d, %d", spans[0].DurNS, spans[1].DurNS)
 	}
 }
 
-func TestTracerCapacity(t *testing.T) {
-	tr := EnableTracing(2)
-	defer SetTracer(nil)
-	for i := 0; i < 5; i++ {
+func TestSpanAttributes(t *testing.T) {
+	tr := EnableTracing(16)
+	defer SetRecorder(nil)
+
+	_, sp := StartSpan(context.Background(), "ingest.clip")
+	sp.SetCamera("cam3").SetClip(7).SetStage("ingest").SetPrec("float32").SetErr(true)
+	sp.End()
+	_, plain := StartSpan(context.Background(), "plain")
+	plain.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	got := spans[0]
+	if got.Camera != "cam3" || got.Clip != 7 || got.Stage != "ingest" || got.Prec != "float32" || !got.Err {
+		t.Errorf("attributed span = %+v", got)
+	}
+	if p := spans[1]; p.Camera != "" || p.Clip != -1 || p.Stage != "" || p.Prec != "" || p.Err {
+		t.Errorf("unattributed span carries attrs: %+v", p)
+	}
+}
+
+// TestRecorderOverwritesOldest pins the flight-recorder contract that
+// replaced the old capacity-capped tracer: when the ring is full the
+// OLDEST spans are overwritten, so a long run always retains the most
+// recent window (the old tracer kept startup spans and silently dropped
+// everything new).
+func TestRecorderOverwritesOldest(t *testing.T) {
+	tr := EnableTracing(8)
+	defer SetRecorder(nil)
+	if tr.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", tr.Capacity())
+	}
+	for i := 0; i < 20; i++ {
 		_, sp := StartSpan(context.Background(), "s")
+		sp.SetClip(i)
 		sp.End()
 	}
-	if got := len(tr.Spans()); got != 2 {
-		t.Errorf("retained %d spans, want 2", got)
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
 	}
-	if tr.Dropped() != 3 {
-		t.Errorf("dropped = %d, want 3", tr.Dropped())
+	for i, s := range spans {
+		if want := 12 + i; s.Clip != want {
+			t.Errorf("retained[%d].Clip = %d, want %d (newest spans must survive)", i, s.Clip, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Recorded != 20 || st.Retained != 8 || st.Overwritten != 12 {
+		t.Errorf("stats = %+v, want recorded 20, retained 8, overwritten 12", st)
+	}
+	if st.Utilization != 1 {
+		t.Errorf("utilization = %v, want 1", st.Utilization)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Capacity() != 0 || r.Snapshot() != nil || len(r.Subtree(1)) != 0 {
+		t.Error("nil recorder must report an empty trace")
+	}
+	if st := r.Stats(); st.Recorded != 0 || st.Retained != 0 {
+		t.Errorf("nil recorder stats = %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("nil recorder chrome trace invalid: %v", err)
 	}
 }
 
 func TestTraceJSON(t *testing.T) {
 	tr := EnableTracing(8)
-	defer SetTracer(nil)
+	defer SetRecorder(nil)
 	_, sp := StartSpan(context.Background(), "one")
 	sp.End()
 	var buf bytes.Buffer
@@ -74,14 +145,143 @@ func TestTraceJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out struct {
-		Spans   []SpanRecord `json:"spans"`
-		Dropped int64        `json:"dropped"`
+		Spans []SpanRecord  `json:"spans"`
+		Stats RecorderStats `json:"stats"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
 	if len(out.Spans) != 1 || out.Spans[0].Name != "one" {
 		t.Errorf("trace JSON = %+v", out)
+	}
+	if out.Stats.Recorded != 1 || out.Stats.Capacity != 8 {
+		t.Errorf("trace stats = %+v", out.Stats)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := EnableTracing(64)
+	defer SetRecorder(nil)
+
+	ctx, set := StartSpan(context.Background(), "run.set")
+	_, clip := StartSpan(ctx, "run.clip")
+	clip.SetClip(0).SetPrec("float64")
+	clip.End()
+	set.End()
+	_, cam := StartSpan(context.Background(), "ingest.clip")
+	cam.SetCamera("cam0").SetClip(1)
+	cam.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	byName := map[string]int{}
+	for i, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			byName[e.Name] = i
+			if e.PID != 1 || e.TID < 1 {
+				t.Errorf("event %q has pid=%d tid=%d", e.Name, e.PID, e.TID)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("chrome trace has %d complete events, want 3", complete)
+	}
+	if meta < 2 { // process_name + at least one thread_name
+		t.Errorf("chrome trace has %d metadata events, want >= 2", meta)
+	}
+	set2, clip2 := out.TraceEvents[byName["run.set"]], out.TraceEvents[byName["run.clip"]]
+	if clip2.Args["parent"] != set2.Args["id"] {
+		t.Errorf("run.clip parent arg %v != run.set id %v", clip2.Args["parent"], set2.Args["id"])
+	}
+	if clip2.TID != set2.TID {
+		t.Errorf("nested spans on different lanes: clip tid %d, set tid %d", clip2.TID, set2.TID)
+	}
+	if clip2.TS < set2.TS || clip2.TS+clip2.Dur > set2.TS+set2.Dur+1e-6 {
+		t.Errorf("child [%v, %v] not inside parent [%v, %v]",
+			clip2.TS, clip2.TS+clip2.Dur, set2.TS, set2.TS+set2.Dur)
+	}
+	camEv := out.TraceEvents[byName["ingest.clip"]]
+	if camEv.Args["camera"] != "cam0" {
+		t.Errorf("camera arg = %v", camEv.Args["camera"])
+	}
+	if camEv.TID == set2.TID {
+		t.Error("camera span must get its own lane")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr := EnableTracing(64)
+	defer SetRecorder(nil)
+
+	ctx, root := StartSpan(context.Background(), "http.query")
+	cctx, child := StartSpan(ctx, "store.count")
+	_, grand := StartSpan(cctx, "store.scan")
+	grand.End()
+	child.End()
+	root.End()
+	_, other := StartSpan(context.Background(), "unrelated")
+	other.End()
+
+	sub := tr.Subtree(root.ID())
+	if len(sub) != 3 {
+		t.Fatalf("subtree has %d spans, want 3: %+v", len(sub), sub)
+	}
+	if sub[0].Name != "http.query" || sub[1].Name != "store.count" || sub[2].Name != "store.scan" {
+		t.Errorf("subtree order = %q %q %q", sub[0].Name, sub[1].Name, sub[2].Name)
+	}
+}
+
+// TestTraceGauges asserts the satellite contract: ring occupancy and
+// overwritten-span counts are visible as trace.* gauges in any registry
+// snapshot, not only via WriteJSON.
+func TestTraceGauges(t *testing.T) {
+	EnableTracing(8)
+	defer SetRecorder(nil)
+	for i := 0; i < 12; i++ {
+		_, sp := StartSpan(context.Background(), "g")
+		sp.End()
+	}
+	g := Default.Snapshot().Gauges
+	if g["trace.capacity"] != 8 {
+		t.Errorf("trace.capacity = %v, want 8", g["trace.capacity"])
+	}
+	if g["trace.spans_recorded"] != 12 {
+		t.Errorf("trace.spans_recorded = %v, want 12", g["trace.spans_recorded"])
+	}
+	if g["trace.spans_overwritten"] != 4 {
+		t.Errorf("trace.spans_overwritten = %v, want 4", g["trace.spans_overwritten"])
+	}
+	if g["trace.utilization"] != 1 {
+		t.Errorf("trace.utilization = %v, want 1", g["trace.utilization"])
+	}
+
+	SetRecorder(nil)
+	g = Default.Snapshot().Gauges
+	if _, ok := g["trace.capacity"]; ok {
+		t.Error("trace gauges must disappear when the recorder is removed")
 	}
 }
 

@@ -1,0 +1,209 @@
+package serve_test
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"otif"
+	"otif/internal/obs"
+	"otif/internal/serve"
+	"otif/internal/store"
+)
+
+// TestDebugEndpointsDuringStreamingIngest hammers /debug/trace (both
+// formats), /debug/bundle and /query/count from several goroutines while
+// a two-camera streaming ingest session records spans into the flight
+// recorder. Run under -race this proves the recorder's ring, the
+// per-route telemetry, the slow-request log and the bundle collectors
+// share no unsynchronized state with the pipeline. Afterwards it asserts
+// the observability surface end to end: ingest spans carry camera
+// attributes, the slow log holds query requests with span subtrees, and
+// /metrics exports the trace.* and serve.route.* series.
+func TestDebugEndpointsDuringStreamingIngest(t *testing.T) {
+	rec := otif.EnableTracing(1 << 12)
+	defer otif.DisableTracing()
+
+	p, _ := testPipeline(t)
+	sess, err := p.Ingest(context.Background(),
+		otif.WithCameras(2), otif.WithCameraClips(3), otif.WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	srv := httptest.NewServer((&serve.Server{
+		Queries: &serve.QueryAPI{Store: func() *store.Store {
+			if s := sess.Store(); s.Clips() > 0 {
+				return s
+			}
+			return nil
+		}},
+		Streams: func() (otif.IngestStats, bool) { return sess.Stats(), true },
+		Config: func() map[string]string {
+			return map[string]string{"dataset": "caldot1"}
+		},
+	}).Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Error(err)
+			return resp.StatusCode, nil
+		}
+		return resp.StatusCode, body
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, body := get("/debug/trace"); code == http.StatusOK {
+					var tr struct {
+						Spans []obs.SpanRecord  `json:"spans"`
+						Stats obs.RecorderStats `json:"stats"`
+					}
+					if err := json.Unmarshal(body, &tr); err != nil {
+						t.Errorf("otif trace: %v", err)
+						return
+					}
+				} else {
+					t.Errorf("/debug/trace = %d", code)
+					return
+				}
+				if code, body := get("/debug/trace?format=chrome"); code == http.StatusOK {
+					var chrome struct {
+						TraceEvents []json.RawMessage `json:"traceEvents"`
+					}
+					if err := json.Unmarshal(body, &chrome); err != nil {
+						t.Errorf("chrome trace: %v", err)
+						return
+					}
+				} else {
+					t.Errorf("/debug/trace?format=chrome = %d", code)
+					return
+				}
+				if code, body := get("/debug/bundle"); code == http.StatusOK {
+					gz, err := gzip.NewReader(strings.NewReader(string(body)))
+					if err != nil {
+						t.Errorf("bundle gzip: %v", err)
+						return
+					}
+					tr := tar.NewReader(gz)
+					n := 0
+					for {
+						if _, err := tr.Next(); err == io.EOF {
+							break
+						} else if err != nil {
+							t.Errorf("bundle tar: %v", err)
+							return
+						}
+						n++
+						if _, err := io.Copy(io.Discard, tr); err != nil {
+							t.Errorf("bundle member: %v", err)
+							return
+						}
+					}
+					if n < 9 {
+						t.Errorf("bundle has %d members, want >= 9", n)
+						return
+					}
+				} else {
+					t.Errorf("/debug/bundle = %d", code)
+					return
+				}
+				get("/query/count?category=car") // 503 until the first clip publishes
+			}
+		}()
+	}
+
+	if err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The recorder saw the ingest spans with their camera attributes.
+	cams := map[string]bool{}
+	for _, s := range rec.Snapshot() {
+		if s.Name == "ingest.clip" {
+			if s.Stage != "ingest" || s.Camera == "" || s.Clip < 0 {
+				t.Errorf("ingest span missing attributes: %+v", s)
+			}
+			cams[s.Camera] = true
+		}
+	}
+	if len(cams) != 2 {
+		t.Errorf("ingest spans cover cameras %v, want 2 cameras", cams)
+	}
+
+	// The slow log retained query requests, each with its span subtree
+	// rooted at the request's http span.
+	code, body := get("/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow = %d", code)
+	}
+	var slow struct {
+		K        int `json:"k"`
+		Requests []struct {
+			Route string           `json:"route"`
+			Path  string           `json:"path"`
+			Spans []obs.SpanRecord `json:"spans"`
+		} `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Requests) == 0 {
+		t.Fatal("slow log empty after hammering /query/count")
+	}
+	for _, e := range slow.Requests {
+		if e.Route != "query_count" {
+			t.Errorf("slow entry route = %q", e.Route)
+		}
+		if len(e.Spans) == 0 || e.Spans[0].Name != "http.query_count" || e.Spans[0].Stage != "serve" {
+			t.Errorf("slow entry spans = %+v, want http.query_count root", e.Spans)
+		}
+	}
+
+	// /metrics exports the ring-occupancy gauges and per-route series.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, series := range []string{
+		"otif_trace_capacity",
+		"otif_trace_spans_recorded",
+		"otif_serve_route_query_count_requests_total",
+		"otif_serve_route_debug_trace_requests_total",
+		"otif_serve_route_debug_bundle_status_2xx_total",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+}

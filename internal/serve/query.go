@@ -39,12 +39,13 @@ type QueryAPI struct {
 	Movements func() []query.Movement
 }
 
-// register wires the query routes onto the mux.
-func (q *QueryAPI) register(mux *http.ServeMux) {
-	mux.HandleFunc("GET /query/count", q.instrument(q.handleCount))
-	mux.HandleFunc("GET /query/breakdown", q.instrument(q.handleBreakdown))
-	mux.HandleFunc("GET /query/limit", q.instrument(q.handleLimit))
-	mux.HandleFunc("POST /query/dwell", q.instrument(q.handleDwell))
+// register wires the query routes through the server's route
+// instrumentation.
+func (q *QueryAPI) register(handle func(pattern string, h http.HandlerFunc)) {
+	handle("GET /query/count", q.instrument(q.handleCount))
+	handle("GET /query/breakdown", q.instrument(q.handleBreakdown))
+	handle("GET /query/limit", q.instrument(q.handleLimit))
+	handle("POST /query/dwell", q.instrument(q.handleDwell))
 }
 
 // instrument wraps a query handler with the store-availability gate, the

@@ -23,8 +23,15 @@ import (
 //	POST /jobs/{id}/cancel      cooperative cancellation
 //	     /query/*               indexed track queries (see QueryAPI)
 //	GET  /streams               streaming ingest status (JSON)
+//	GET  /debug/trace           flight-recorder spans (?format=otif|chrome)
+//	GET  /debug/slow            the K slowest /query/* requests with spans
+//	GET  /debug/bundle          one-shot tar.gz post-mortem artifact
 //	GET  /debug/vars            expvar
 //	     /debug/pprof/*         CPU/heap/goroutine profiling
+//
+// Every route is wrapped with per-route telemetry (request counter,
+// in-flight gauge, status-class counters, latency histogram) exported as
+// serve.route.* metrics; see middleware.go.
 type Server struct {
 	// Registry is the metrics source; nil selects obs.Default.
 	Registry *obs.Registry
@@ -38,19 +45,36 @@ type Server struct {
 	// ok is false when no session is streaming. nil serves 404 for the
 	// endpoint.
 	Streams func() (ingest.Stats, bool)
+	// Config reports the effective configuration (flag values) for the
+	// debug bundle; nil omits the bundle's config.json member.
+	Config func() map[string]string
 	// Prefix namespaces exported metric names; empty selects DefaultPrefix.
 	Prefix string
+	// SlowK caps the slow-request log (0 selects DefaultSlowRequests).
+	SlowK int
+
+	// slow retains the K slowest /query/* requests; built by Handler.
+	slow *slowLog
 }
 
-// Handler builds the routing table.
+// Handler builds the routing table. Every route — including the debug
+// and profiling endpoints — passes through the per-route telemetry
+// wrapper.
 func (s *Server) Handler() http.Handler {
+	if s.slow == nil {
+		s.slow = newSlowLog(s.SlowK)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, s.instrumentRoute(pattern, h))
+	}
+	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	handleFunc("GET /metrics", s.handleMetrics)
+	handleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.Ready != nil && !s.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
@@ -59,24 +83,27 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	if s.Manager != nil {
-		mux.HandleFunc("GET /jobs", s.handleJobList)
-		mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-		mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-		mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
-		mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+		handleFunc("GET /jobs", s.handleJobList)
+		handleFunc("POST /jobs", s.handleJobSubmit)
+		handleFunc("GET /jobs/{id}", s.handleJobGet)
+		handleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+		handleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
 	}
 	if s.Queries != nil {
-		s.Queries.register(mux)
+		s.Queries.register(handleFunc)
 	}
 	if s.Streams != nil {
-		mux.HandleFunc("GET /streams", s.handleStreams)
+		handleFunc("GET /streams", s.handleStreams)
 	}
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handleFunc("GET /debug/trace", s.handleTrace)
+	handleFunc("GET /debug/slow", s.handleSlow)
+	handleFunc("GET /debug/bundle", s.handleBundle)
+	handle("GET /debug/vars", expvar.Handler())
+	handleFunc("/debug/pprof/", pprof.Index)
+	handleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	handleFunc("/debug/pprof/profile", pprof.Profile)
+	handleFunc("/debug/pprof/symbol", pprof.Symbol)
+	handleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -143,8 +143,10 @@ func TuneContext(ctx context.Context, sys *core.System, metric core.Metric, opts
 		return nil, partial(0, err)
 	}
 	ctx, tuneSpan := obs.StartSpan(ctx, "tune")
+	tuneSpan.SetStage("tune")
 	defer tuneSpan.End()
 	_, cacheSpan := obs.StartSpan(ctx, "tune.cache")
+	cacheSpan.SetStage("tune")
 	c := buildCache(sys, metric, opts)
 	cacheSpan.End()
 	opts.Progress.Emit(obs.Event{
@@ -170,6 +172,7 @@ func TuneContext(ctx context.Context, sys *core.System, metric core.Metric, opts
 		}
 		metIterations.Inc()
 		_, iterSpan := obs.StartSpan(ctx, "tune.iter")
+		iterSpan.SetStage("tune")
 		opts.Progress.Emit(obs.Event{
 			Kind: obs.EventTuneIter, Iteration: iter, Total: opts.MaxIters,
 		})

@@ -44,22 +44,32 @@ func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
 // atomic load, keeping deterministic benchmarks allocation-free.
 func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
 
-// EnableTracing installs a process-wide span tracer capturing up to max
-// spans (a cap <= 0 selects a default) and returns it. Tracing is off by
-// default; when off, span start/end sites read no clocks and do not
-// allocate, keeping deterministic paths clock-free.
-func EnableTracing(max int) *obs.Tracer { return obs.EnableTracing(max) }
+// EnableTracing installs a process-wide flight recorder capturing up to
+// max attributed spans (a cap <= 0 selects a default) and returns it. The
+// recorder is a fixed-capacity ring that overwrites oldest-first, so a
+// long-running process always retains the most recent window of spans
+// under bounded memory; ring occupancy and overwritten-span counts are
+// exported as trace.* gauges in every metrics snapshot. Tracing is off by
+// default in the library (otifd turns it on); when off, span start/end
+// sites read no clocks and do not allocate, keeping deterministic paths
+// clock-free.
+func EnableTracing(max int) *obs.Recorder { return obs.EnableTracing(max) }
 
-// DisableTracing removes the process-wide span tracer.
-func DisableTracing() { obs.SetTracer(nil) }
+// DisableTracing removes the process-wide flight recorder.
+func DisableTracing() { obs.SetRecorder(nil) }
 
-// WriteTrace writes the recorded spans of the active tracer as JSON; it is
-// a no-op (writing an empty span list) when tracing is disabled.
+// WriteTrace writes the flight recorder's retained spans and ring
+// statistics as JSON (the "otif" trace format); with tracing disabled it
+// writes an empty span list.
 func WriteTrace(w io.Writer) error {
-	t := obs.CurrentTracer()
-	if t == nil {
-		empty := obs.NewTracer(0)
-		return empty.WriteJSON(w)
-	}
-	return t.WriteJSON(w)
+	return obs.CurrentRecorder().WriteJSON(w)
+}
+
+// WriteChromeTrace writes the flight recorder's retained spans in Chrome
+// trace-event JSON, loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one lane per worker or camera, span attributes in
+// each event's args. With tracing disabled it writes an empty (but valid)
+// trace.
+func WriteChromeTrace(w io.Writer) error {
+	return obs.CurrentRecorder().WriteChrome(w)
 }
