@@ -30,6 +30,8 @@ func main() {
 		loadFm   = flag.String("load", "", "load a trained model bundle instead of training")
 		tracksF  = flag.String("tracks", "", "write the extracted track set to this file (self-describing v2 format)")
 		queryF   = flag.String("query-tracks", "", "load a stored track file and answer queries from it, skipping the pipeline entirely")
+		segsDir  = flag.String("export-segments", "", "export the track set as shippable segment files (OTIFSEG1) into this directory")
+		segClips = flag.Int("segment-clips", 4, "clips per exported segment for -export-segments (<= 0 = one segment)")
 		nwork    = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		cacheMB  = flag.Int("cache-mb", 64, "frame cache budget in MiB (<= 0 disables); results are identical at any setting")
 		prefetch = flag.Int("prefetch", otif.Prefetch(), "decode-ahead depth in frames (<= 0 disables); results are identical at any setting")
@@ -78,6 +80,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loaded %s: dataset=%q clips=%d\n", *queryF, ts.Dataset, len(ts.PerClip))
+		if *segsDir != "" {
+			exportSegments(ts, *segsDir, *segClips)
+		}
 		counts := ts.Query().Category("car").Count()
 		total := 0
 		for _, c := range counts {
@@ -177,6 +182,9 @@ func main() {
 		}
 		f.Close()
 	}
+	if *segsDir != "" {
+		exportSegments(ts, *segsDir, *segClips)
+	}
 
 	// A few exploratory queries over the stored tracks.
 	counts := ts.CountTracks("car")
@@ -216,6 +224,17 @@ func main() {
 	fmt.Printf("  average visible cars per clip: %v\n", fmt.Sprintf("%.1f...", mean(avg)))
 
 	finish(*metricsF, *traceOut, *traceFmt)
+}
+
+// exportSegments writes the track set as segment files for serving from a
+// replica (otifd -segments-dir).
+func exportSegments(ts *otif.TrackSet, dir string, clipsPerSeg int) {
+	paths, err := ts.ExportSegments(dir, clipsPerSeg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "otif:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exported %d segment file(s) to %s\n", len(paths), dir)
 }
 
 // finish emits the optional observability outputs: the metrics registry in

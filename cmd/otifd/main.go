@@ -10,16 +10,20 @@
 //	GET  /jobs/{id}             one job record
 //	GET  /jobs/{id}/events      live job progress (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
-//	GET  /query/count           indexed track queries over the current
-//	GET  /query/breakdown       track set: counts, path breakdown,
-//	GET  /query/limit           frame-level limit queries and dwell
-//	POST /query/dwell           times (503 until tracks are loaded)
-//	GET  /streams               streaming ingest status (JSON)
-//	GET  /debug/trace           flight-recorder spans (?format=otif|chrome)
-//	GET  /debug/slow            slowest /query/* requests with span subtrees
-//	GET  /debug/bundle          one-shot tar.gz post-mortem artifact
-//	GET  /debug/vars            expvar
-//	     /debug/pprof/*         CPU/heap/goroutine profiling
+//	GET  /v1/datasets           registered datasets + segment manifests
+//	GET  /v1/query/count        indexed track queries over the selected
+//	GET  /v1/query/breakdown    dataset (?dataset=, default the daemon's
+//	GET  /v1/query/limit        own): counts, path breakdown, frame-level
+//	POST /v1/query/dwell        limit queries, dwell times (503 until loaded)
+//	GET  /v1/streams            streaming ingest status (JSON)
+//	GET  /v1/debug/trace        flight-recorder spans (?format=otif|chrome)
+//	GET  /v1/debug/slow         slowest query requests with span subtrees
+//	GET  /v1/debug/bundle       one-shot tar.gz post-mortem artifact
+//	GET  /v1/debug/vars         expvar
+//	     /v1/debug/pprof/*      CPU/heap/goroutine profiling
+//
+// The pre-versioning routes (/query/*, /streams, /debug/*) still answer,
+// marked with a Deprecation header pointing at their /v1 successors.
 //
 // The flight recorder is on by default: a fixed-capacity ring of spans
 // (-trace-spans, default 16384) overwrites oldest-first, so the daemon
@@ -39,6 +43,7 @@
 //	otifd -dataset caldot1                        # default address :8080
 //	otifd -addr 127.0.0.1:0 -clips 2 -seconds 2   # tiny instance, random port
 //	otifd -tracks caldot1.tracks                  # serve queries from a stored file
+//	otifd -segments-dir ./segs                    # replica over shipped segment files
 //	otifd -stream -stream-cameras 2               # stream 2 simulated cameras once ready
 //	otifd -log json -log-level debug              # structured logs on stderr
 //
@@ -85,7 +90,8 @@ func main() {
 		logMode  = flag.String("log", "text", "structured log format: off, text, json")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		ringCap  = flag.Int("events", 256, "buffered progress events retained per job")
-		tracksF  = flag.String("tracks", "", "serve /query/* from this stored track file at startup")
+		tracksF  = flag.String("tracks", "", "serve /v1/query/* from this stored track file at startup")
+		segsDir  = flag.String("segments-dir", "", "serve /v1/query/* from the segment files (*.otifseg) in this directory; each dataset found becomes a registry entry")
 		traceCap = flag.Int("trace-spans", obs.DefaultRecorderSpans, "flight-recorder span capacity (<= 0 disables tracing); oldest spans are overwritten when full")
 		traceOut = flag.String("trace-out", "", "write the flight recorder's spans to this file on graceful shutdown")
 		traceFmt = flag.String("trace-format", "otif", "trace format for -trace-out: otif (span JSON) or chrome (Perfetto-loadable trace events)")
@@ -146,6 +152,28 @@ func main() {
 		d.tracks.Store(ts)
 		logf.Info("otifd: tracks loaded", "file", *tracksF, "dataset", ts.Dataset, "clips", len(ts.PerClip))
 	}
+	// The dataset registry the ?dataset= selector resolves against. The
+	// daemon's own dataset is the default entry, answered through the
+	// hot-swap chain (stream snapshot → published tracks → shipped
+	// segments); every other dataset found in -segments-dir registers as a
+	// static shard set under its own name.
+	datasets := store.NewRegistry()
+	datasets.Register(*name, store.ProviderFunc(d.snapshot))
+	if *segsDir != "" {
+		shards, err := store.OpenSegmentsDir(*segsDir, store.NewCache())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "otifd:", err)
+			os.Exit(1)
+		}
+		for ds, sh := range shards {
+			if ds == *name {
+				d.shards.Store(sh)
+			} else {
+				datasets.Register(ds, sh)
+			}
+			logf.Info("otifd: segments loaded", "dataset", ds, "segments", len(sh.Segments()), "clips", sh.Clips())
+		}
+	}
 	mgr := serve.NewManager(*ringCap)
 	mgr.Register("tune", d.runTune)
 	mgr.Register("extract", d.runExtract)
@@ -153,7 +181,7 @@ func main() {
 	srv := &serve.Server{
 		Manager: mgr,
 		Ready:   d.ready.Load,
-		Queries: &serve.QueryAPI{Store: d.store, Movements: d.movements},
+		Queries: &serve.QueryAPI{Datasets: datasets, Movements: d.movements},
 		Streams: d.streams,
 		SlowK:   *slowK,
 		// The effective flag values, for the debug bundle's config.json.
@@ -272,6 +300,9 @@ type daemon struct {
 	relay  atomic.Pointer[obs.Progress]
 	ready  atomic.Bool
 	tracks atomic.Pointer[otif.TrackSet]
+	// shards holds the primary dataset's shard set loaded from
+	// -segments-dir (lowest-priority source behind streams and tracks).
+	shards atomic.Pointer[store.Sharded]
 
 	// session is the active streaming ingest, nil when idle; streaming
 	// holds the single-stream gate (at most one stream job runs at once).
@@ -279,12 +310,14 @@ type daemon struct {
 	streaming atomic.Bool
 }
 
-// store exposes the current track store to the /query endpoints. While a
-// stream job runs, queries answer from the live store's latest snapshot —
-// each snapshot is immutable, so a query concurrent with clip publication
-// never observes a torn index. Otherwise the last published track set
-// serves (an extract job's output or a -tracks file).
-func (d *daemon) store() *store.Store {
+// snapshot exposes the current track store for the daemon's primary
+// dataset. While a stream job runs, queries answer from the live store's
+// latest snapshot — each snapshot is immutable, so a query concurrent
+// with clip publication never observes a torn index. Otherwise the last
+// published track set serves (an extract job's output, a -tracks file, or
+// the -segments-dir shard set for this dataset). A nil return means "not
+// loaded yet" (the query endpoints answer 503).
+func (d *daemon) snapshot() store.Querier {
 	if s := d.session.Load(); s != nil {
 		if snap := s.Store(); snap.Clips() > 0 {
 			return snap
@@ -292,6 +325,9 @@ func (d *daemon) store() *store.Store {
 	}
 	if ts := d.tracks.Load(); ts != nil {
 		return ts.Index()
+	}
+	if sh := d.shards.Load(); sh != nil {
+		return sh
 	}
 	return nil
 }

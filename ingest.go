@@ -177,10 +177,12 @@ func (p *Pipeline) Ingest(ctx context.Context, options ...IngestOption) (*Ingest
 	return &IngestSession{s: s, name: p.sys.DS.Name}, nil
 }
 
-// Store returns the current published snapshot of the live track store.
-// The snapshot is immutable and safe for concurrent queries while ingest
-// continues; call Store again to observe newly published clips.
-func (s *IngestSession) Store() *store.Store { return s.s.Store() }
+// Store returns the current published snapshot of the live track store: a
+// segmented store whose sealed segments are shared across snapshots plus
+// one open tail segment. The snapshot is immutable and safe for concurrent
+// queries while ingest continues; call Store again to observe newly
+// published clips.
+func (s *IngestSession) Store() store.Querier { return s.s.Store() }
 
 // Stats snapshots the session's counters: clips ingested and dropped,
 // current queue depth, and per-camera lag.

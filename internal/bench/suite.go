@@ -16,42 +16,28 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"otif/internal/baselines"
 	"otif/internal/core"
 	"otif/internal/dataset"
+	"otif/internal/parallel"
 	"otif/internal/tuner"
 )
 
 // Suite lazily builds and memoizes trained pipelines per dataset so tables
 // that share a dataset do not retrain.
 //
-// Memoization is per-dataset singleflight: the suite mutex guards only
-// the entry maps, and each dataset trains under its own sync.Once, so
-// concurrent callers asking for different datasets train them in
-// parallel while concurrent callers asking for the same dataset share
-// one training run. (The previous design held one suite-wide mutex
-// across an entire train+tune, serializing every dataset.)
+// Memoization is per-dataset singleflight through parallel.Group (the
+// generalization of the entry-map-plus-sync.Once idiom this suite first
+// grew): concurrent callers asking for different datasets train them in
+// parallel while concurrent callers asking for the same dataset share one
+// training run, and completed results stay memoized.
 type Suite struct {
 	Spec dataset.SetSpec
 	Seed int64
 
-	mu      sync.Mutex
-	systems map[string]*systemEntry
-	curves  map[string]*curveEntry
-}
-
-type systemEntry struct {
-	once sync.Once
-	t    *trained
-	err  error
-}
-
-type curveEntry struct {
-	once   sync.Once
-	curves []MethodCurve
-	err    error
+	systems parallel.Group[string, *trained]
+	curves  parallel.Group[string, []MethodCurve]
 }
 
 // trained is a fully trained system plus its OTIF tuning curve.
@@ -63,34 +49,26 @@ type trained struct {
 
 // NewSuite creates a harness with the given set sizes.
 func NewSuite(spec dataset.SetSpec, seed int64) *Suite {
-	return &Suite{Spec: spec, Seed: seed, systems: map[string]*systemEntry{}, curves: map[string]*curveEntry{}}
+	return &Suite{Spec: spec, Seed: seed}
 }
 
 // System returns the trained system (and OTIF curve) for a dataset,
 // training it on first use. Concurrent calls for the same dataset share
 // one training run; calls for different datasets do not block each other.
 func (s *Suite) System(name string) (*trained, error) {
-	s.mu.Lock()
-	e, ok := s.systems[name]
-	if !ok {
-		e = &systemEntry{}
-		s.systems[name] = e
-	}
-	s.mu.Unlock()
-	e.once.Do(func() {
+	t, err, _ := s.systems.Do(name, func() (*trained, error) {
 		ds, err := dataset.Build(name, s.Spec, s.Seed)
 		if err != nil {
-			e.err = err
-			return
+			return nil, err
 		}
 		sys := core.NewSystem(ds)
 		metric := core.MetricFor(ds)
 		best, _ := tuner.SelectBest(sys, metric)
 		sys.FinishTraining(best, 42)
 		curve := tuner.Tune(sys, metric, tuner.DefaultOptions())
-		e.t = &trained{Sys: sys, Metric: metric, Curve: curve}
+		return &trained{Sys: sys, Metric: metric, Curve: curve}, nil
 	})
-	return e.t, e.err
+	return t, err
 }
 
 // EquivScale converts set runtimes to paper-sized one-hour equivalents.
@@ -123,18 +101,10 @@ func testPointsOTIF(t *trained) []tuner.Point {
 // returning test-set speed-accuracy curves (Figure 5 data). Results are
 // memoized: Table 2 and Figure 5 share one evaluation.
 func (s *Suite) TrackCurves(name string) ([]MethodCurve, error) {
-	s.mu.Lock()
-	e, ok := s.curves[name]
-	if !ok {
-		e = &curveEntry{}
-		s.curves[name] = e
-	}
-	s.mu.Unlock()
-	e.once.Do(func() {
+	curves, err, _ := s.curves.Do(name, func() ([]MethodCurve, error) {
 		t, err := s.System(name)
 		if err != nil {
-			e.err = err
-			return
+			return nil, err
 		}
 		out := []MethodCurve{{Method: "OTIF", Points: testPointsOTIF(t)}}
 		for _, m := range baselines.All() {
@@ -160,9 +130,9 @@ func (s *Suite) TrackCurves(name string) ([]MethodCurve, error) {
 			}
 			out = append(out, MethodCurve{Method: m.Name(), Points: pts, QueryFraction: qf})
 		}
-		e.curves = out
+		return out, nil
 	})
-	return e.curves, e.err
+	return curves, err
 }
 
 // onPareto reports whether point i is on the Pareto frontier of pts.

@@ -331,8 +331,10 @@ func (s *Session) work(it workItem) {
 func (s *Session) Live() *store.Live { return s.live }
 
 // Store returns the current published snapshot, safe for concurrent
-// queries while ingest continues.
-func (s *Session) Store() *store.Store { return s.live.Snapshot() }
+// queries while ingest continues. Since the segment model landed it is a
+// *store.Sharded — sealed segments plus the open tail — but callers only
+// see the Querier surface, which answers bit-identically.
+func (s *Session) Store() store.Querier { return s.live.Snapshot() }
 
 // Stats snapshots the session's counters.
 func (s *Session) Stats() Stats {

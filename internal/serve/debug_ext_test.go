@@ -40,13 +40,15 @@ func TestDebugEndpointsDuringStreamingIngest(t *testing.T) {
 	}
 	defer sess.Close()
 
+	datasets := store.NewRegistry()
+	datasets.Register("caldot1", store.ProviderFunc(func() store.Querier {
+		if s := sess.Store(); s.Clips() > 0 {
+			return s
+		}
+		return nil
+	}))
 	srv := httptest.NewServer((&serve.Server{
-		Queries: &serve.QueryAPI{Store: func() *store.Store {
-			if s := sess.Store(); s.Clips() > 0 {
-				return s
-			}
-			return nil
-		}},
+		Queries: &serve.QueryAPI{Datasets: datasets},
 		Streams: func() (otif.IngestStats, bool) { return sess.Stats(), true },
 		Config: func() map[string]string {
 			return map[string]string{"dataset": "caldot1"}

@@ -115,7 +115,7 @@ func (s *Server) instrumentRoute(pattern string, h http.Handler) http.Handler {
 	if i := strings.IndexByte(path, ' '); i >= 0 {
 		path = path[i+1:]
 	}
-	slowCandidate := strings.HasPrefix(path, "/query/")
+	slowCandidate := strings.HasPrefix(path, "/query/") || strings.HasPrefix(path, "/v1/query/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Inc()
 		st.inflight.Add(1)

@@ -137,9 +137,11 @@ func TestDefaultSlowLogSize(t *testing.T) {
 // TestSlowEndpoint drives a /query route (answering 503 with no store
 // loaded) and asserts it appears in GET /debug/slow with its parameters.
 func TestSlowEndpoint(t *testing.T) {
+	datasets := store.NewRegistry()
+	datasets.Register("live", store.ProviderFunc(func() store.Querier { return nil }))
 	s := &Server{
 		Registry: obs.NewRegistry(),
-		Queries:  &QueryAPI{Store: func() *store.Store { return nil }},
+		Queries:  &QueryAPI{Datasets: datasets},
 	}
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()

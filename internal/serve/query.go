@@ -22,41 +22,88 @@ var (
 		0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1)
 )
 
-// QueryAPI serves the /query/* endpoints over an indexed track store:
+// QueryAPI serves the versioned query endpoints over the dataset registry:
 //
-//	GET  /query/count?category=car                 per-clip track counts
-//	GET  /query/breakdown?category=car&maxdist=90  path (movement) breakdown
-//	GET  /query/limit?category=car&n=2&limit=5&minsep=1.5
-//	                                               frame-level limit query
-//	POST /query/dwell {"category":"car","region":[[x,y],...]}
-//	                                               per-track dwell seconds
+//	GET  /v1/datasets                                 registered datasets + manifests
+//	GET  /v1/query/count?category=car                 per-clip track counts
+//	GET  /v1/query/breakdown?category=car&maxdist=90  path (movement) breakdown
+//	GET  /v1/query/limit?category=car&n=2&limit=5&minsep=1.5
+//	                                                  frame-level limit query
+//	POST /v1/query/dwell {"category":"car","region":[[x,y],...]}
+//	                                                  per-track dwell seconds
 //
-// Store supplies the current indexed store (nil while no tracks are
-// loaded: endpoints answer 503). Movements supplies the dataset's labeled
-// movements for /query/breakdown (nil: 404 for that endpoint's data).
+// Every query endpoint accepts a ?dataset= selector resolved against
+// Datasets; the empty selector means the registry's default dataset, so
+// single-dataset deployments need no selector. The selector is read from
+// the URL query string only — never the body — so POST bodies pass
+// through untouched. The legacy unversioned /query/* routes serve the
+// same handlers with a Deprecation header (see Server.Handler).
+//
+// Datasets supplies the named stores. A default dataset that is not yet
+// loaded answers 503; an explicitly named dataset that is not registered
+// answers 404. Movements supplies the dataset's labeled movements for
+// /v1/query/breakdown (nil: 404 for that endpoint's data).
 type QueryAPI struct {
-	Store     func() *store.Store
+	Datasets  *store.Registry
 	Movements func() []query.Movement
 }
 
-// register wires the query routes through the server's route
-// instrumentation.
-func (q *QueryAPI) register(handle func(pattern string, h http.HandlerFunc)) {
-	handle("GET /query/count", q.instrument(q.handleCount))
-	handle("GET /query/breakdown", q.instrument(q.handleBreakdown))
-	handle("GET /query/limit", q.instrument(q.handleLimit))
-	handle("POST /query/dwell", q.instrument(q.handleDwell))
+// register wires the query routes: handle mounts a canonical /v1 route,
+// alias mounts a legacy unversioned route onto the same handler with the
+// deprecation headers.
+func (q *QueryAPI) register(handle, alias func(pattern string, h http.HandlerFunc)) {
+	handle("GET /v1/datasets", q.handleDatasets)
+	routes := []struct {
+		method, name string
+		h            http.HandlerFunc
+	}{
+		{"GET", "count", q.instrument(q.handleCount)},
+		{"GET", "breakdown", q.instrument(q.handleBreakdown)},
+		{"GET", "limit", q.instrument(q.handleLimit)},
+		{"POST", "dwell", q.instrument(q.handleDwell)},
+	}
+	for _, rt := range routes {
+		handle(rt.method+" /v1/query/"+rt.name, rt.h)
+		alias(rt.method+" /query/"+rt.name, rt.h)
+	}
 }
 
-// instrument wraps a query handler with the store-availability gate, the
-// request counter and the latency histogram.
-func (q *QueryAPI) instrument(h func(w http.ResponseWriter, r *http.Request, s *store.Store)) http.HandlerFunc {
+// resolve maps the request's ?dataset= selector to a point-in-time store.
+// The error, when non-nil, has already been written to w.
+func (q *QueryAPI) resolve(w http.ResponseWriter, r *http.Request) (store.Querier, bool) {
+	// URL query only: FormValue would consume a form-encoded POST body.
+	name := r.URL.Query().Get("dataset")
+	if q.Datasets == nil {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "no dataset registry configured")
+		return nil, false
+	}
+	s, err := q.Datasets.Resolve(name)
+	if err != nil {
+		metQueryErrors.Inc()
+		if name == "" {
+			// No default registered yet: the deployment is still loading.
+			writeError(w, http.StatusServiceUnavailable, "no track set loaded (extract first, or start with -tracks)")
+		} else {
+			writeError(w, http.StatusNotFound, err.Error())
+		}
+		return nil, false
+	}
+	if s == nil {
+		metQueryErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "no track set loaded (extract first, or start with -tracks)")
+		return nil, false
+	}
+	return s, true
+}
+
+// instrument wraps a query handler with dataset resolution, the request
+// counter and the latency histogram.
+func (q *QueryAPI) instrument(h func(w http.ResponseWriter, r *http.Request, s store.Querier)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		metQueryRequests.Inc()
-		s := q.Store()
-		if s == nil {
-			metQueryErrors.Inc()
-			writeError(w, http.StatusServiceUnavailable, "no track set loaded (extract first, or start with -tracks)")
+		s, ok := q.resolve(w, r)
+		if !ok {
 			return
 		}
 		start := time.Now()
@@ -65,7 +112,40 @@ func (q *QueryAPI) instrument(h func(w http.ResponseWriter, r *http.Request, s *
 	}
 }
 
-func (q *QueryAPI) handleCount(w http.ResponseWriter, r *http.Request, s *store.Store) {
+// datasetView is one row of the GET /v1/datasets response.
+type datasetView struct {
+	Name     string          `json:"name"`
+	Ready    bool            `json:"ready"`
+	Clips    int             `json:"clips"`
+	Manifest *store.Manifest `json:"manifest,omitempty"`
+}
+
+func (q *QueryAPI) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if q.Datasets == nil {
+		writeError(w, http.StatusServiceUnavailable, "no dataset registry configured")
+		return
+	}
+	names := q.Datasets.Names()
+	views := make([]datasetView, 0, len(names))
+	for _, name := range names {
+		v := datasetView{Name: name}
+		if s, err := q.Datasets.Resolve(name); err == nil && s != nil {
+			v.Ready = true
+			v.Clips = s.Clips()
+			if sh, ok := s.(*store.Sharded); ok {
+				m := sh.Manifest()
+				v.Manifest = &m
+			}
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":  q.Datasets.Default(),
+		"datasets": views,
+	})
+}
+
+func (q *QueryAPI) handleCount(w http.ResponseWriter, r *http.Request, s store.Querier) {
 	cat := r.FormValue("category")
 	perClip := s.CountTracks(cat)
 	total := 0
@@ -79,7 +159,7 @@ func (q *QueryAPI) handleCount(w http.ResponseWriter, r *http.Request, s *store.
 	})
 }
 
-func (q *QueryAPI) handleBreakdown(w http.ResponseWriter, r *http.Request, s *store.Store) {
+func (q *QueryAPI) handleBreakdown(w http.ResponseWriter, r *http.Request, s store.Querier) {
 	var movements []query.Movement
 	if q.Movements != nil {
 		movements = q.Movements()
@@ -111,13 +191,13 @@ func (q *QueryAPI) handleBreakdown(w http.ResponseWriter, r *http.Request, s *st
 	})
 }
 
-// limitFrame is one frame match in the /query/limit response.
+// limitFrame is one frame match in the /v1/query/limit response.
 type limitFrame struct {
 	FrameIdx int         `json:"frame"`
 	Boxes    []geom.Rect `json:"boxes"`
 }
 
-func (q *QueryAPI) handleLimit(w http.ResponseWriter, r *http.Request, s *store.Store) {
+func (q *QueryAPI) handleLimit(w http.ResponseWriter, r *http.Request, s store.Querier) {
 	cat := r.FormValue("category")
 	n, err1 := intParam(r, "n", 1)
 	limit, err2 := intParam(r, "limit", 10)
@@ -145,14 +225,14 @@ func (q *QueryAPI) handleLimit(w http.ResponseWriter, r *http.Request, s *store.
 	})
 }
 
-// dwellRequest is the POST /query/dwell body: a category and a polygonal
-// region as [x, y] vertex pairs in nominal frame coordinates.
+// dwellRequest is the POST /v1/query/dwell body: a category and a
+// polygonal region as [x, y] vertex pairs in nominal frame coordinates.
 type dwellRequest struct {
 	Category string       `json:"category"`
 	Region   [][2]float64 `json:"region"`
 }
 
-func (q *QueryAPI) handleDwell(w http.ResponseWriter, r *http.Request, s *store.Store) {
+func (q *QueryAPI) handleDwell(w http.ResponseWriter, r *http.Request, s store.Querier) {
 	var req dwellRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		metQueryErrors.Inc()

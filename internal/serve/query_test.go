@@ -37,9 +37,11 @@ func queryFixture() (*Server, *store.Store) {
 		{bus},
 	}
 	st := store.New(perClip, query.Context{FPS: 10, NomW: 640, NomH: 360, Frames: 100})
+	datasets := store.NewRegistry()
+	datasets.Register("test", st)
 	srv := &Server{
 		Queries: &QueryAPI{
-			Store: func() *store.Store { return st },
+			Datasets: datasets,
 			Movements: func() []query.Movement {
 				return []query.Movement{{Name: "eastbound", Path: geom.Path{{X: 10, Y: 115}, {X: 600, Y: 115}}}}
 			},
@@ -172,7 +174,9 @@ func TestQueryDwellBadRegion(t *testing.T) {
 }
 
 func TestQueryUnavailableStore(t *testing.T) {
-	srv := &Server{Queries: &QueryAPI{Store: func() *store.Store { return nil }}}
+	datasets := store.NewRegistry()
+	datasets.Register("live", store.ProviderFunc(func() store.Querier { return nil }))
+	srv := &Server{Queries: &QueryAPI{Datasets: datasets}}
 	for _, target := range []string{"/query/count", "/query/breakdown", "/query/limit"} {
 		code, _ := doQueryJSON(t, srv, "GET", target, "")
 		if code != 503 {

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"otif/internal/ingest"
+	"otif/internal/query"
+	"otif/internal/store"
+)
+
+// shardedFixtureDataset rebuilds the query fixture's clips as a two-segment
+// Sharded, registered under "shards" — the same data served scatter-gather.
+func shardedFixtureDataset(t *testing.T, srv *Server, st *store.Store) *store.Sharded {
+	t.Helper()
+	perClip := [][]*query.Track{st.Tracks(0), st.Tracks(1)}
+	segs := store.SplitSegments(perClip, st.Context(), 1)
+	sh, err := store.NewSharded("shards", st.Context(), segs, store.NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Queries.Datasets.Register("shards", sh)
+	return sh
+}
+
+// TestRouteAliases is the routing table test: every legacy unversioned
+// route must answer exactly like its /v1 successor, carry the Deprecation
+// header and a Link naming the successor, while the canonical route
+// carries neither.
+func TestRouteAliases(t *testing.T) {
+	srv, _ := queryFixture()
+	srv.Streams = func() (ingest.Stats, bool) { return ingest.Stats{}, false }
+	h := srv.Handler()
+
+	cases := []struct {
+		method, legacy, body string
+		compareBody          bool // skip for endpoints whose body varies per request
+	}{
+		{"GET", "/query/count?category=car", "", true},
+		{"GET", "/query/breakdown?category=car", "", true},
+		{"GET", "/query/limit?category=car&n=2&limit=3", "", true},
+		{"POST", "/query/dwell", `{"category":"car","region":[[-1,-1],[641,-1],[641,361],[-1,361]]}`, true},
+		{"GET", "/streams", "", true},
+		{"GET", "/debug/slow", "", false},
+		{"GET", "/debug/trace", "", false},
+		{"GET", "/debug/vars", "", false},
+		{"GET", "/debug/pprof/", "", false},
+	}
+	for _, c := range cases {
+		do := func(target string) *httptest.ResponseRecorder {
+			req := httptest.NewRequest(c.method, target, strings.NewReader(c.body))
+			if c.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			return rec
+		}
+		legacy, canonical := do(c.legacy), do("/v1"+c.legacy)
+
+		if legacy.Code != canonical.Code {
+			t.Errorf("%s %s = %d but /v1 successor = %d", c.method, c.legacy, legacy.Code, canonical.Code)
+		}
+		if c.compareBody && legacy.Body.String() != canonical.Body.String() {
+			t.Errorf("%s %s body differs from its /v1 successor:\nlegacy:    %s\ncanonical: %s",
+				c.method, c.legacy, legacy.Body.String(), canonical.Body.String())
+		}
+		if got := legacy.Header().Get("Deprecation"); got != "true" {
+			t.Errorf("%s %s Deprecation header = %q, want \"true\"", c.method, c.legacy, got)
+		}
+		path := c.legacy
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		if got, want := legacy.Header().Get("Link"), "</v1"+path+`>; rel="successor-version"`; got != want {
+			t.Errorf("%s %s Link header = %q, want %q", c.method, c.legacy, got, want)
+		}
+		if got := canonical.Header().Get("Deprecation"); got != "" {
+			t.Errorf("canonical %s /v1%s carries Deprecation header %q", c.method, c.legacy, got)
+		}
+		if got := canonical.Header().Get("Link"); got != "" {
+			t.Errorf("canonical %s /v1%s carries Link header %q", c.method, c.legacy, got)
+		}
+	}
+}
+
+// TestRouteMetricKeysSeparate pins that canonical and alias routes keep
+// separate serve.route.* metric keys, so residual legacy traffic is
+// observable in /metrics.
+func TestRouteMetricKeysSeparate(t *testing.T) {
+	srv, _ := queryFixture()
+	h := srv.Handler()
+	for _, target := range []string{"/query/count?category=car", "/v1/query/count?category=car"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d", target, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, series := range []string{
+		"otif_serve_route_query_count_requests_total",
+		"otif_serve_route_v1_query_count_requests_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+}
+
+// TestDatasetsEndpoint pins the GET /v1/datasets shape: the default name
+// plus one row per dataset, with the segment manifest for sharded ones.
+func TestDatasetsEndpoint(t *testing.T) {
+	srv, st := queryFixture()
+	shardedFixtureDataset(t, srv, st)
+
+	code, out := doQueryJSON(t, srv, "GET", "/v1/datasets", "")
+	if code != 200 {
+		t.Fatalf("status = %d, want 200: %v", code, out)
+	}
+	if out["default"] != "test" {
+		t.Errorf("default = %v, want test (first registered)", out["default"])
+	}
+	rows := out["datasets"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("datasets rows = %d, want 2", len(rows))
+	}
+	byName := map[string]map[string]any{}
+	for _, r := range rows {
+		m := r.(map[string]any)
+		byName[m["name"].(string)] = m
+	}
+	for name, m := range byName {
+		if m["ready"] != true || m["clips"].(float64) != 2 {
+			t.Errorf("dataset %s = %v, want ready with 2 clips", name, m)
+		}
+	}
+	if _, hasManifest := byName["test"]["manifest"]; hasManifest {
+		t.Error("monolithic dataset carries a manifest")
+	}
+	manifest, ok := byName["shards"]["manifest"].(map[string]any)
+	if !ok {
+		t.Fatalf("sharded dataset missing manifest: %v", byName["shards"])
+	}
+	segs := manifest["segments"].([]any)
+	if len(segs) != 2 {
+		t.Fatalf("manifest segments = %d, want 2", len(segs))
+	}
+	next := 0.0
+	for i, s := range segs {
+		m := s.(map[string]any)
+		if m["id"] != store.SegmentID(i) || m["start_clip"].(float64) != next || m["sealed"] != true {
+			t.Errorf("manifest segment %d = %v", i, m)
+		}
+		next += m["clips"].(float64)
+	}
+}
+
+// TestQueryDatasetSelector pins the ?dataset= contract: the empty selector
+// answers from the default, a named dataset answers from its own store, a
+// sharded dataset answers byte-identically to the monolithic one over the
+// same clips, and an unknown name is 404.
+func TestQueryDatasetSelector(t *testing.T) {
+	srv, st := queryFixture()
+	shardedFixtureDataset(t, srv, st)
+	h := srv.Handler()
+
+	get := func(target, body string) (int, string) {
+		method := "GET"
+		if body != "" {
+			method = "POST"
+		}
+		req := httptest.NewRequest(method, target, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	codeDef, bodyDef := get("/v1/query/count?category=car", "")
+	codeNamed, bodyNamed := get("/v1/query/count?category=car&dataset=test", "")
+	codeShards, bodyShards := get("/v1/query/count?category=car&dataset=shards", "")
+	if codeDef != 200 || codeNamed != 200 || codeShards != 200 {
+		t.Fatalf("statuses = %d/%d/%d, want 200", codeDef, codeNamed, codeShards)
+	}
+	if bodyDef != bodyNamed {
+		t.Error("default and dataset=test answers differ")
+	}
+	if bodyDef != bodyShards {
+		t.Errorf("scatter-gather answer differs from monolithic:\n mono: %s\nshard: %s", bodyDef, bodyShards)
+	}
+
+	if code, _ := get("/v1/query/count?category=car&dataset=nope", ""); code != 404 {
+		t.Errorf("unknown dataset = %d, want 404", code)
+	}
+
+	// The selector must be read from the URL only: a POST body with a
+	// dataset selector in the query string passes through intact.
+	dwell := `{"category":"car","region":[[-1,-1],[641,-1],[641,361],[-1,361]]}`
+	codeA, bodyA := get("/v1/query/dwell?dataset=test", dwell)
+	codeB, bodyB := get("/v1/query/dwell?dataset=shards", dwell)
+	if codeA != 200 || codeB != 200 {
+		t.Fatalf("dwell with selector = %d/%d, want 200", codeA, codeB)
+	}
+	if bodyA != bodyB {
+		t.Error("dwell over sharded dataset differs from monolithic")
+	}
+}

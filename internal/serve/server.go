@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"otif/internal/ingest"
 	"otif/internal/obs"
 )
 
-// Server wires the exposition endpoints onto one stdlib http mux:
+// Server wires the exposition endpoints onto one stdlib http mux. The
+// data-plane surface is versioned under /v1 and selects a dataset with
+// ?dataset= (empty means the registry's default):
 //
 //	GET  /metrics               Prometheus text exposition of the registry
 //	GET  /healthz               liveness (200 once the process serves)
@@ -21,23 +24,33 @@ import (
 //	GET  /jobs/{id}             one job record (JSON)
 //	GET  /jobs/{id}/events      the job's event stream (SSE)
 //	POST /jobs/{id}/cancel      cooperative cancellation
-//	     /query/*               indexed track queries (see QueryAPI)
-//	GET  /streams               streaming ingest status (JSON)
-//	GET  /debug/trace           flight-recorder spans (?format=otif|chrome)
-//	GET  /debug/slow            the K slowest /query/* requests with spans
-//	GET  /debug/bundle          one-shot tar.gz post-mortem artifact
-//	GET  /debug/vars            expvar
-//	     /debug/pprof/*         CPU/heap/goroutine profiling
+//	GET  /v1/datasets           registered datasets + segment manifests
+//	     /v1/query/*            indexed track queries (see QueryAPI)
+//	GET  /v1/streams            streaming ingest status (JSON)
+//	GET  /v1/debug/trace        flight-recorder spans (?format=otif|chrome)
+//	GET  /v1/debug/slow         the K slowest query requests with spans
+//	GET  /v1/debug/bundle       one-shot tar.gz post-mortem artifact
+//	GET  /v1/debug/vars         expvar
+//	     /v1/debug/pprof/*      CPU/heap/goroutine profiling
+//
+// The pre-versioning routes (/query/*, /streams, /debug/*) remain as thin
+// aliases onto the same handlers; they answer identically but set a
+// "Deprecation: true" header and a Link header naming the successor
+// route, so clients can migrate mechanically. The routing table test pins
+// the alias ↔ canonical pairing.
 //
 // Every route is wrapped with per-route telemetry (request counter,
 // in-flight gauge, status-class counters, latency histogram) exported as
-// serve.route.* metrics; see middleware.go.
+// serve.route.* metrics; see middleware.go. Canonical and alias routes
+// keep separate metric keys (v1_query_count vs query_count), which makes
+// residual legacy traffic observable.
 type Server struct {
 	// Registry is the metrics source; nil selects obs.Default.
 	Registry *obs.Registry
 	// Manager handles the /jobs endpoints; nil serves 404 for them.
 	Manager *Manager
-	// Queries handles the /query endpoints; nil serves 404 for them.
+	// Queries handles the /v1/query endpoints (and their legacy aliases);
+	// nil serves 404 for them.
 	Queries *QueryAPI
 	// Ready gates /readyz; nil means always ready.
 	Ready func() bool
@@ -57,6 +70,16 @@ type Server struct {
 	slow *slowLog
 }
 
+// deprecate wraps a legacy alias handler: same behavior, plus the RFC
+// 9745 Deprecation header and a Link naming the canonical successor.
+func deprecate(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handler builds the routing table. Every route — including the debug
 // and profiling endpoints — passes through the per-route telemetry
 // wrapper.
@@ -69,6 +92,16 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, s.instrumentRoute(pattern, h))
 	}
 	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	// alias mounts a legacy unversioned route onto its /v1 successor's
+	// handler: the successor path is the pattern's path prefixed with /v1.
+	alias := func(pattern string, h http.Handler) {
+		path := pattern
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[i+1:]
+		}
+		handle(pattern, deprecate("/v1"+path, h))
+	}
+	aliasFunc := func(pattern string, h http.HandlerFunc) { alias(pattern, h) }
 	handleFunc("GET /metrics", s.handleMetrics)
 	handleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -90,20 +123,36 @@ func (s *Server) Handler() http.Handler {
 		handleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
 	}
 	if s.Queries != nil {
-		s.Queries.register(handleFunc)
+		s.Queries.register(handleFunc, aliasFunc)
 	}
 	if s.Streams != nil {
-		handleFunc("GET /streams", s.handleStreams)
+		handleFunc("GET /v1/streams", s.handleStreams)
+		aliasFunc("GET /streams", s.handleStreams)
 	}
-	handleFunc("GET /debug/trace", s.handleTrace)
-	handleFunc("GET /debug/slow", s.handleSlow)
-	handleFunc("GET /debug/bundle", s.handleBundle)
-	handle("GET /debug/vars", expvar.Handler())
-	handleFunc("/debug/pprof/", pprof.Index)
-	handleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	handleFunc("/debug/pprof/profile", pprof.Profile)
-	handleFunc("/debug/pprof/symbol", pprof.Symbol)
-	handleFunc("/debug/pprof/trace", pprof.Trace)
+	handleFunc("GET /v1/debug/trace", s.handleTrace)
+	aliasFunc("GET /debug/trace", s.handleTrace)
+	handleFunc("GET /v1/debug/slow", s.handleSlow)
+	aliasFunc("GET /debug/slow", s.handleSlow)
+	handleFunc("GET /v1/debug/bundle", s.handleBundle)
+	aliasFunc("GET /debug/bundle", s.handleBundle)
+	handle("GET /v1/debug/vars", expvar.Handler())
+	alias("GET /debug/vars", expvar.Handler())
+	// The stdlib pprof handlers key on the hardcoded /debug/pprof/ prefix,
+	// so the /v1 mount strips its version prefix before delegating.
+	pprofRoutes := []struct {
+		suffix string
+		h      http.HandlerFunc
+	}{
+		{"", pprof.Index},
+		{"cmdline", pprof.Cmdline},
+		{"profile", pprof.Profile},
+		{"symbol", pprof.Symbol},
+		{"trace", pprof.Trace},
+	}
+	for _, pr := range pprofRoutes {
+		handle("/v1/debug/pprof/"+pr.suffix, http.StripPrefix("/v1", pr.h))
+		aliasFunc("/debug/pprof/"+pr.suffix, pr.h)
+	}
 	return mux
 }
 

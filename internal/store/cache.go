@@ -1,0 +1,92 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"otif/internal/obs"
+	"otif/internal/parallel"
+)
+
+// Per-segment result cache observability. hits counts answers served from
+// memory, fills counts executions that computed and stored a result, dedup
+// counts callers that piggybacked on a concurrent fill (the singleflight
+// path).
+var (
+	metCacheHits  = obs.Default.Counter("store.cache.hits")
+	metCacheFills = obs.Default.Counter("store.cache.fills")
+	metCacheDedup = obs.Default.Counter("store.cache.dedup")
+)
+
+// cacheKey identifies one memoized result: a sealed segment's id plus the
+// canonical string form of the query (method name and every parameter).
+// Segment ids are stable across processes, so two replicas computing the
+// same query over the same shipped segment key identically.
+type cacheKey struct {
+	segment string
+	query   string
+}
+
+// CacheStats is a point-in-time snapshot of one cache's counters, for
+// deterministic test assertions (the obs counters are process-global and
+// shared across caches).
+type CacheStats struct {
+	Hits, Fills, Dedup int64
+}
+
+// Cache memoizes per-segment query results with request coalescing: the
+// first caller for a (segment, query) pair computes, concurrent callers
+// for the same pair wait and share, later callers hit memory. Results are
+// shared read-only slices — callers must not mutate what a cached query
+// returns. Only sealed segments are cached (an open segment's content
+// changes on every append); Sharded enforces that at the call site.
+//
+// The zero value is ready to use. A nil *Cache disables caching: Get then
+// just runs fn.
+type Cache struct {
+	g parallel.Group[cacheKey, any]
+
+	hits, fills, dedup atomic.Int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Get returns the memoized result for (segment, query), running fn to fill
+// it on first use. Errors are not part of the contract — query execution
+// over an in-memory segment cannot fail — so fn returns only a value.
+func (c *Cache) Get(segment, query string, fn func() any) any {
+	if c == nil {
+		return fn()
+	}
+	v, _, outcome := c.g.Do(cacheKey{segment, query}, func() (any, error) {
+		return fn(), nil
+	})
+	switch outcome {
+	case parallel.DidRun:
+		c.fills.Add(1)
+		metCacheFills.Inc()
+	case parallel.Waited:
+		c.dedup.Add(1)
+		metCacheDedup.Inc()
+	case parallel.Cached:
+		c.hits.Add(1)
+		metCacheHits.Inc()
+	}
+	return v
+}
+
+// Stats snapshots the cache's own counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Fills: c.fills.Load(), Dedup: c.dedup.Load()}
+}
+
+// Len reports how many (segment, query) results are memoized or in flight.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.g.Len()
+}

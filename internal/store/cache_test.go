@@ -1,0 +1,130 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"otif/internal/parallel"
+)
+
+// TestCacheHammer fills one cache from many goroutines hammering a small
+// key space; under -race this proves Get is safe for concurrent fill and
+// read. Every call for a key must observe the same shared value, and the
+// counters must account for every call exactly once: fills equals the key
+// count (each key computed once — that is the singleflight guarantee), and
+// hits + dedup cover all remaining calls.
+func TestCacheHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 200
+		keys       = 6
+	)
+	c := NewCache()
+	computed := make([]int, keys) // writes guarded by the singleflight: one fill per key
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < rounds; i++ {
+				k := r.Intn(keys)
+				seg, q := SegmentID(k/2), []string{"count|car", "avgvisible|bus", "dwell|"}[k%3]
+				v := c.Get(seg, q, func() any {
+					computed[k]++
+					return []int{k, k * k}
+				}).([]int)
+				if want := []int{k, k * k}; !reflect.DeepEqual(v, want) {
+					t.Errorf("Get(%s,%s) = %v, want %v", seg, q, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k, n := range computed {
+		if n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", k, n)
+		}
+	}
+	st := c.Stats()
+	if st.Fills != keys {
+		t.Errorf("fills = %d, want %d", st.Fills, keys)
+	}
+	if total := st.Fills + st.Hits + st.Dedup; total != goroutines*rounds {
+		t.Errorf("fills+hits+dedup = %d, want %d (every Get accounted once)", total, goroutines*rounds)
+	}
+	if c.Len() != keys {
+		t.Errorf("Len = %d, want %d", c.Len(), keys)
+	}
+}
+
+// TestCacheDedupCounter deterministically drives the singleflight path
+// using the parallel.Group wait hook: waiters blocked behind an in-flight
+// fill must be counted as dedup, not as fills or hits.
+func TestCacheDedupCounter(t *testing.T) {
+	const waiters = 4
+	c := NewCache()
+	release := make(chan struct{})
+	waiting := make(chan struct{}, waiters)
+	parallel.SetWaitHookForTest(func() { waiting <- struct{}{} })
+	defer parallel.SetWaitHookForTest(nil)
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Get("seg-00000", "count|car", func() any {
+			close(started)
+			<-release
+			return []int{42}
+		})
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v := c.Get("seg-00000", "count|car", func() any { return nil }).([]int); v[0] != 42 {
+				t.Errorf("waiter got %v, want [42]", v)
+			}
+		}()
+	}
+	for i := 0; i < waiters; i++ {
+		<-waiting
+	}
+	close(release)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Fills != 1 || st.Dedup != waiters || st.Hits != 0 {
+		t.Errorf("stats = %+v, want fills=1 dedup=%d hits=0", st, waiters)
+	}
+	if v := c.Get("seg-00000", "count|car", func() any { return nil }).([]int); v[0] != 42 {
+		t.Errorf("post-fill Get = %v, want [42]", v)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("hits after memoized Get = %d, want 1", st.Hits)
+	}
+}
+
+// TestCacheNil pins that a nil cache degrades to direct execution.
+func TestCacheNil(t *testing.T) {
+	var c *Cache
+	n := 0
+	for i := 0; i < 3; i++ {
+		if v := c.Get("s", "q", func() any { n++; return n }).(int); v != i+1 {
+			t.Fatalf("nil cache memoized: got %d on call %d", v, i+1)
+		}
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+}

@@ -7,62 +7,133 @@ import (
 	"otif/internal/query"
 )
 
+// DefaultSealClips is the open-segment size at which a Live store seals:
+// once the tail segment reaches this many clips it becomes an immutable
+// sealed segment (cacheable, exportable) and a fresh open segment starts.
+const DefaultSealClips = 8
+
 // Live is the mutable front of the indexed track store for streaming
-// ingest: an append-only sequence of immutable Store snapshots. Each
-// Append builds one clip's flat indexes (the same segment build New runs
-// per clip) outside any lock, then publishes a new Store value that
-// shares every previously built clipIndex — snapshot publication is one
-// atomic pointer swap, so readers always see a fully consistent store:
-// either the snapshot before a clip landed or the one after, never a
-// torn index.
+// ingest, re-expressed over the segment model: an append-only sequence of
+// sealed segments plus one open tail segment, published as immutable
+// *Sharded snapshots. Each Append builds one clip's flat indexes (the same
+// build New runs per clip) outside any lock, then publishes a new Sharded
+// whose sealed segments are shared with the previous snapshot and whose
+// open segment is a fresh copy-on-append Store — publication is one atomic
+// pointer swap, so readers always see a fully consistent store: either the
+// snapshot before a clip landed or the one after, never a torn index.
 //
-// Because a clipIndex is immutable after buildClipIndex returns and the
-// clips slice is copied (never appended in place) on publish, an old
-// snapshot held by an in-flight query remains valid and unchanged for as
-// long as the caller keeps it. The incremental path is bit-identical to
-// a full rebuild: appending clips one at a time yields exactly the
-// indexes store.New would build over the same clip sequence (pinned by
-// the differential test in live_test.go).
+// When the open segment reaches sealEvery clips it is sealed in place: it
+// keeps its id (assigned when it opened, stable "seg-%05d" numbering) and
+// flips immutable, making it eligible for the shared result cache and for
+// export over the segment wire format. Query answers are bit-identical to
+// a monolithic store over the same clip sequence at every step (pinned by
+// the differential tests), so ingest publication semantics are unchanged.
 //
 // Appends are serialized by a mutex; any number of concurrent readers
 // proceed lock-free through Snapshot.
 type Live struct {
-	mu  sync.Mutex
-	cur atomic.Pointer[Store]
+	mu        sync.Mutex
+	dataset   string
+	ctx       query.Context
+	sealEvery int
+	cache     *Cache
+
+	sealed    []*Segment  // immutable prefix, shared across snapshots
+	openClips []clipIndex // open tail segment's clips, copied on append
+
+	cur atomic.Pointer[Sharded]
 }
 
 // NewLive creates a live store with zero clips published, using the given
-// clip geometry for every future segment.
+// clip geometry for every future clip, the default seal threshold, and a
+// fresh result cache for sealed segments.
 func NewLive(ctx query.Context) *Live {
-	l := &Live{}
-	l.cur.Store(&Store{ctx: ctx})
+	return NewLiveOptions("live", ctx, DefaultSealClips, NewCache())
+}
+
+// NewLiveOptions is NewLive with explicit dataset name, seal threshold
+// (<= 0 means never seal: one open segment forever, the pre-segment
+// behavior), and result cache (nil disables caching).
+func NewLiveOptions(dataset string, ctx query.Context, sealEvery int, cache *Cache) *Live {
+	l := &Live{dataset: dataset, ctx: ctx, sealEvery: sealEvery, cache: cache}
+	l.cur.Store(l.assemble())
 	return l
 }
 
-// Snapshot returns the current published store. The returned Store is
-// immutable and safe for concurrent queries; it never changes as further
-// clips append.
-func (l *Live) Snapshot() *Store { return l.cur.Load() }
+// assemble publishes the current sealed+open state as a Sharded. Caller
+// holds l.mu (or is the constructor).
+func (l *Live) assemble() *Sharded {
+	start := 0
+	for _, sg := range l.sealed {
+		start += sg.Clips()
+	}
+	segs := l.sealed
+	if len(l.openClips) > 0 {
+		segs = make([]*Segment, len(l.sealed)+1)
+		copy(segs, l.sealed)
+		segs[len(l.sealed)] = &Segment{
+			id:    SegmentID(len(l.sealed)),
+			start: start,
+			s:     &Store{clips: l.openClips, ctx: l.ctx},
+		}
+	}
+	sh, err := NewSharded(l.dataset, l.ctx, segs, l.cache)
+	if err != nil {
+		panic("store: live segments not contiguous: " + err.Error())
+	}
+	return sh
+}
+
+// Snapshot returns the current published shard set. The returned Sharded
+// is immutable and safe for concurrent queries; it never changes as
+// further clips append. Live implements Provider.
+func (l *Live) Snapshot() Querier { return l.cur.Load() }
+
+// Shards returns the current snapshot with its concrete type, for callers
+// that need manifest or segment access.
+func (l *Live) Shards() *Sharded { return l.cur.Load() }
 
 // Clips returns the number of clips in the current snapshot.
-func (l *Live) Clips() int { return len(l.cur.Load().clips) }
+func (l *Live) Clips() int { return l.cur.Load().Clips() }
 
 // Append indexes one extracted clip's tracks and atomically publishes a
 // new snapshot containing it. tracks is retained (not copied) and must
 // not be mutated afterwards, exactly like New's contract. It returns the
 // clip's index in the new snapshot.
 func (l *Live) Append(tracks []*query.Track) int {
-	// The segment build is the expensive part; run it outside the lock so
-	// concurrent appenders only serialize on the pointer swap.
-	ctx := l.cur.Load().ctx
-	seg := buildClipIndex(tracks, ctx)
+	// The index build is the expensive part; run it outside the lock so
+	// concurrent appenders only serialize on the seal check and swap.
+	ci := buildClipIndex(tracks, l.ctx)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	old := l.cur.Load()
-	clips := make([]clipIndex, len(old.clips)+1)
-	copy(clips, old.clips)
-	clips[len(old.clips)] = seg
-	l.cur.Store(&Store{clips: clips, ctx: old.ctx, SelfCheck: old.SelfCheck})
-	return len(clips) - 1
+	// Copy-on-append: old snapshots keep their open Store's clip slice.
+	open := make([]clipIndex, len(l.openClips)+1)
+	copy(open, l.openClips)
+	open[len(l.openClips)] = ci
+
+	if l.sealEvery > 0 && len(open) >= l.sealEvery {
+		start := 0
+		for _, sg := range l.sealed {
+			start += sg.Clips()
+		}
+		seg := &Segment{
+			id:     SegmentID(len(l.sealed)),
+			start:  start,
+			sealed: true,
+			s:      &Store{clips: open, ctx: l.ctx},
+		}
+		sealed := make([]*Segment, len(l.sealed)+1)
+		copy(sealed, l.sealed)
+		sealed[len(l.sealed)] = seg
+		l.sealed = sealed
+		l.openClips = nil
+	} else {
+		l.openClips = open
+	}
+	sh := l.assemble()
+	l.cur.Store(sh)
+	return sh.Clips() - 1
 }
+
+var _ Provider = (*Live)(nil)

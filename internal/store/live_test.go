@@ -9,12 +9,24 @@ import (
 	"otif/internal/query"
 )
 
+// flatClips gathers a Sharded's per-clip indexes in dataset clip order, so
+// tests can compare the segmented layout element-for-element against a
+// monolithic store.New build.
+func flatClips(sh *Sharded) []clipIndex {
+	out := make([]clipIndex, 0, sh.Clips())
+	for _, sg := range sh.segs {
+		out = append(out, sg.s.clips...)
+	}
+	return out
+}
+
 // TestLiveIncrementalMatchesFullRebuild is the incremental-publication
 // acceptance test: appending clips one at a time to a Live store must
 // yield indexes bit-identical to store.New over the same clip sequence —
 // at every prefix, not just the final state. clipIndex holds only plain
 // values and slices, so reflect.DeepEqual compares every index array
-// element-for-element.
+// element-for-element; the segment split changes only where clip indexes
+// live, not their contents.
 func TestLiveIncrementalMatchesFullRebuild(t *testing.T) {
 	ctx := testCtx()
 	for seed := int64(0); seed < 6; seed++ {
@@ -25,19 +37,67 @@ func TestLiveIncrementalMatchesFullRebuild(t *testing.T) {
 			genTracks(r, r.Intn(12), ctx.Frames, ctx),
 			genTracks(r, 30, ctx.Frames, ctx),
 		}
-		l := NewLive(ctx)
+		// sealEvery 2 exercises both a seal boundary and an open tail
+		// within four appends.
+		l := NewLiveOptions("live", ctx, 2, NewCache())
 		for k, tracks := range perClip {
 			if got := l.Append(tracks); got != k {
 				t.Fatalf("seed %d: Append returned clip index %d, want %d", seed, got, k)
 			}
 			full := New(perClip[:k+1], ctx)
-			snap := l.Snapshot()
-			if !reflect.DeepEqual(snap.clips, full.clips) {
+			snap := l.Shards()
+			if !reflect.DeepEqual(flatClips(snap), full.clips) {
 				t.Fatalf("seed %d: after %d appends, incremental indexes diverge from full rebuild", seed, k+1)
 			}
-			if snap.ctx != full.ctx {
-				t.Fatalf("seed %d: context diverged: %+v vs %+v", seed, snap.ctx, full.ctx)
+			if snap.Context() != full.Context() {
+				t.Fatalf("seed %d: context diverged: %+v vs %+v", seed, snap.Context(), full.Context())
 			}
+			if !reflect.DeepEqual(snap.CountTracks("car"), full.CountTracks("car")) {
+				t.Fatalf("seed %d: scatter-gather counts diverge from full rebuild", seed)
+			}
+		}
+	}
+}
+
+// TestLiveSealsSegments pins the sealing contract: the open segment seals
+// at the threshold with a stable id, sealed segments are immutable and
+// shared across snapshots, and the manifest tiles the clip range.
+func TestLiveSealsSegments(t *testing.T) {
+	ctx := testCtx()
+	r := rand.New(rand.NewSource(3))
+	l := NewLiveOptions("cam0", ctx, 2, NewCache())
+	for i := 0; i < 5; i++ {
+		l.Append(genTracks(r, 8, ctx.Frames, ctx))
+	}
+	sh := l.Shards()
+	segs := sh.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("after 5 appends at sealEvery=2: %d segments, want 3 (2 sealed + open)", len(segs))
+	}
+	for i, wantSealed := range []bool{true, true, false} {
+		if segs[i].Sealed() != wantSealed {
+			t.Errorf("segment %d sealed = %v, want %v", i, segs[i].Sealed(), wantSealed)
+		}
+		if want := SegmentID(i); segs[i].ID() != want {
+			t.Errorf("segment %d id = %q, want %q", i, segs[i].ID(), want)
+		}
+	}
+	m := sh.Manifest()
+	if m.Dataset != "cam0" || m.Clips != 5 {
+		t.Fatalf("manifest = %+v, want dataset cam0 with 5 clips", m)
+	}
+	next := 0
+	for _, si := range m.Segments {
+		if si.StartClip != next {
+			t.Fatalf("manifest segment %q starts at %d, want %d", si.ID, si.StartClip, next)
+		}
+		next += si.Clips
+	}
+	// Sealed segments are shared by identity across snapshots.
+	l.Append(genTracks(r, 4, ctx.Frames, ctx))
+	for i := 0; i < 2; i++ {
+		if l.Shards().Segments()[i] != segs[i] {
+			t.Errorf("sealed segment %d was rebuilt on append; want shared", i)
 		}
 	}
 }
@@ -76,7 +136,9 @@ func TestLiveSnapshotImmutable(t *testing.T) {
 // TestLiveConcurrentReaders appends clips while reader goroutines query
 // every snapshot they can grab; under -race this asserts publication is
 // safe, and each reader checks its snapshot is internally consistent (the
-// per-clip counts match a full rebuild over that snapshot's tracks).
+// per-clip counts match a full rebuild over that snapshot's tracks). The
+// 12 appends cross the default seal threshold, so readers race against
+// sealing as well as appending.
 func TestLiveConcurrentReaders(t *testing.T) {
 	ctx := testCtx()
 	r := rand.New(rand.NewSource(7))

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"otif/internal/geom"
+	"otif/internal/query"
+)
+
+// Querier is the read-side query surface shared by a single *Store and a
+// segmented *Sharded: one result element per clip for every dataset-wide
+// query, exactly the shape TrackSet's scan queries produce. Everything
+// above the store (the public TrackSet facade, serve.QueryAPI, the otifd
+// daemon) speaks Querier, so callers cannot tell a monolithic index from a
+// scatter-gather over segments — the differential tests pin the answers
+// bit-identical.
+type Querier interface {
+	Context() query.Context
+	Clips() int
+	Tracks(clip int) []*query.Track
+
+	CountTracks(cat string) []int
+	PathBreakdown(cat string, movements []query.Movement, maxEndpointDist float64) []map[string]int
+	VisibleBoxes(clip int, cat string, frameIdx int) ([]geom.Rect, []*query.Track)
+	LimitQuery(cat string, pred query.FramePredicate, limit, minSepFrames int) [][]query.FrameMatch
+	AvgVisible(cat string) []float64
+	BusyFrames(catA string, nA int, catB string, nB int) [][]int
+	CoOccurrences(cat string, dist float64) []int
+	DwellTime(cat string, region geom.Polygon) []map[int]float64
+	HardBraking(decelThreshold float64) [][]*query.Track
+	Speeding(threshold float64) [][]*query.Track
+}
+
+// Provider yields a consistent point-in-time Querier. Static stores return
+// themselves; Live returns its current published shard set; the Registry
+// resolves named datasets to their providers. Snapshot must be cheap and
+// safe for concurrent use — servers call it once per request.
+type Provider interface {
+	Snapshot() Querier
+}
+
+// Snapshot makes a static *Store its own Provider: the store is immutable,
+// so it is its own point-in-time view.
+func (s *Store) Snapshot() Querier { return s }
+
+// ProviderFunc adapts a function to the Provider interface, for callers
+// (like the daemon's hot-swap chain) whose current store is computed.
+type ProviderFunc func() Querier
+
+func (f ProviderFunc) Snapshot() Querier { return f() }
+
+// ErrUnknownDataset is returned by Registry.Resolve for a name that has no
+// registered provider.
+var ErrUnknownDataset = errors.New("store: unknown dataset")
+
+// Registry maps dataset names to Providers — the manifest registry a
+// multi-dataset server resolves the ?dataset= selector against. The empty
+// name resolves to the default dataset, so single-dataset deployments need
+// no selector at all.
+type Registry struct {
+	mu  sync.RWMutex
+	m   map[string]Provider
+	def string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Provider)} }
+
+// Register adds or replaces the provider for a dataset name. The first
+// registered dataset becomes the default unless SetDefault overrides it.
+func (r *Registry) Register(name string, p Provider) {
+	if name == "" {
+		panic("store: Register with empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]Provider)
+	}
+	if len(r.m) == 0 {
+		r.def = name
+	}
+	r.m[name] = p
+}
+
+// SetDefault names the dataset the empty selector resolves to.
+func (r *Registry) SetDefault(name string) {
+	r.mu.Lock()
+	r.def = name
+	r.mu.Unlock()
+}
+
+// Resolve returns a point-in-time Querier for the named dataset ("" means
+// the default). A registered dataset whose provider currently has no store
+// (e.g. a daemon before its first load) resolves to a nil Querier with a
+// nil error; callers treat that as "not ready".
+func (r *Registry) Resolve(name string) (Querier, error) {
+	r.mu.RLock()
+	if name == "" {
+		name = r.def
+	}
+	p := r.m[name]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
+	}
+	return p.Snapshot(), nil
+}
+
+// Names lists the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default returns the default dataset name ("" when nothing is registered).
+func (r *Registry) Default() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.def
+}
+
+// Registry is itself a Provider: its snapshot is the default dataset's.
+func (r *Registry) Snapshot() Querier {
+	q, err := r.Resolve("")
+	if err != nil {
+		return nil
+	}
+	return q
+}
+
+var (
+	_ Querier  = (*Store)(nil)
+	_ Provider = (*Store)(nil)
+	_ Provider = ProviderFunc(nil)
+	_ Provider = (*Registry)(nil)
+)

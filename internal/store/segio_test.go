@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"otif/internal/query"
+)
+
+// TestExportOpenRoundtrip exports a dataset as segment files, opens the
+// directory as a replica would, and asserts the reassembled Sharded
+// answers queries bit-identically to the monolithic store it came from.
+func TestExportOpenRoundtrip(t *testing.T) {
+	perClip, mono, ctx, r := shardedFixture(5)
+	dir := t.TempDir()
+
+	paths, err := ExportSegments(dir, "caldot1", ctx, perClip, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 { // 7 clips at 3 per segment
+		t.Fatalf("exported %d files, want 3: %v", len(paths), paths)
+	}
+	for i, p := range paths {
+		if want := filepath.Join(dir, SegmentID(i)+SegmentExt); p != want {
+			t.Errorf("path %d = %q, want %q", i, p, want)
+		}
+	}
+
+	byDataset, err := OpenSegmentsDir(dir, NewCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := byDataset["caldot1"]
+	if !ok {
+		t.Fatalf("OpenSegmentsDir datasets = %v, want caldot1", byDataset)
+	}
+	if sh.Clips() != mono.Clips() || sh.Context() != mono.Context() {
+		t.Fatalf("replica geometry %d/%+v, want %d/%+v", sh.Clips(), sh.Context(), mono.Clips(), mono.Context())
+	}
+	region := randRegion(r, ctx)
+	for round := 0; round < 2; round++ { // second round answers from cache
+		for _, cat := range []string{"", "car", "nosuch"} {
+			if got, want := sh.CountTracks(cat), mono.CountTracks(cat); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: replica CountTracks(%q) = %v, want %v", round, cat, got, want)
+			}
+			if got, want := sh.AvgVisible(cat), mono.AvgVisible(cat); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: replica AvgVisible(%q) diverged", round, cat)
+			}
+			if got, want := sh.DwellTime(cat, region), mono.DwellTime(cat, region); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: replica DwellTime(%q) diverged", round, cat)
+			}
+		}
+		if got, want := sh.LimitQuery("car", query.CountPredicate{N: 2}, 3, 5), mono.LimitQuery("car", query.CountPredicate{N: 2}, 3, 5); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: replica LimitQuery diverged", round)
+		}
+	}
+}
+
+// TestExportDeterministic pins that exporting the same track set twice
+// produces byte-identical files — the property that lets replicas verify
+// shipped segments and share result-cache key space.
+func TestExportDeterministic(t *testing.T) {
+	perClip, _, ctx, _ := shardedFixture(6)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	pathsA, err := ExportSegments(dirA, "cam0", ctx, perClip, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathsB, err := ExportSegments(dirB, "cam0", ctx, perClip, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathsA) != len(pathsB) {
+		t.Fatalf("exports differ in file count: %d vs %d", len(pathsA), len(pathsB))
+	}
+	for i := range pathsA {
+		a, err := os.ReadFile(pathsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pathsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("segment %d differs between identical exports", i)
+		}
+	}
+}
+
+// TestOpenSegmentsDirMultiDataset serves two datasets from one directory,
+// each reassembled independently.
+func TestOpenSegmentsDirMultiDataset(t *testing.T) {
+	perClipA, monoA, ctx, _ := shardedFixture(7)
+	perClipB := perClipA[:4]
+	monoB := New(perClipB, ctx)
+	dir := t.TempDir()
+	if _, err := ExportSegments(dir, "cam0", ctx, perClipA, 3); err != nil {
+		t.Fatal(err)
+	}
+	// cam1's files would collide with cam0's conventional names, so export
+	// to a subdirectory and move them up under distinct names.
+	sub := filepath.Join(dir, "b")
+	paths, err := ExportSegments(sub, "cam1", ctx, perClipB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if err := os.Rename(p, filepath.Join(dir, "cam1-"+SegmentID(i)+SegmentExt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	byDataset, err := OpenSegmentsDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDataset) != 2 {
+		t.Fatalf("datasets = %d, want 2", len(byDataset))
+	}
+	if got := byDataset["cam0"].CountTracks("car"); !reflect.DeepEqual(got, monoA.CountTracks("car")) {
+		t.Error("cam0 counts diverged")
+	}
+	if got := byDataset["cam1"].CountTracks("car"); !reflect.DeepEqual(got, monoB.CountTracks("car")) {
+		t.Error("cam1 counts diverged")
+	}
+}
+
+// TestOpenSegmentsDirRejectsGaps asserts a directory whose segments do not
+// tile the clip range is rejected rather than served with silent holes.
+func TestOpenSegmentsDirRejectsGaps(t *testing.T) {
+	perClip, _, ctx, _ := shardedFixture(8)
+	dir := t.TempDir()
+	paths, err := ExportSegments(dir, "cam0", ctx, perClip, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegmentsDir(dir, nil); err == nil {
+		t.Error("directory with a missing middle segment accepted")
+	}
+}
+
+// TestOpenSegmentsDirEmpty returns no datasets for an empty directory.
+func TestOpenSegmentsDirEmpty(t *testing.T) {
+	byDataset, err := OpenSegmentsDir(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byDataset) != 0 {
+		t.Errorf("empty dir produced datasets %v", byDataset)
+	}
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+
+	"otif/internal/query"
+)
+
+// Segment is an immutable Store over a contiguous clip range of a dataset.
+// Segments are the unit of scatter-gather (each query fans out across
+// them), of result caching (a sealed segment's answers never change), and
+// of shipping (the OTIFSEG1 wire format moves one segment between
+// replicas).
+type Segment struct {
+	id     string
+	start  int // dataset clip index of the segment's first clip
+	sealed bool
+	s      *Store
+}
+
+// NewSegment indexes one clip range as a sealed segment. id must be stable
+// across processes for the same content — it keys the result cache and
+// names the exported file.
+func NewSegment(id string, startClip int, perClip [][]*query.Track, ctx query.Context) *Segment {
+	return &Segment{id: id, start: startClip, sealed: true, s: New(perClip, ctx)}
+}
+
+// ID returns the segment's stable identifier.
+func (sg *Segment) ID() string { return sg.id }
+
+// StartClip returns the dataset clip index of the segment's first clip.
+func (sg *Segment) StartClip() int { return sg.start }
+
+// Clips returns the number of clips in the segment.
+func (sg *Segment) Clips() int { return sg.s.Clips() }
+
+// Sealed reports whether the segment is immutable. Only sealed segments
+// participate in result caching; a Live store's open tail segment is
+// re-built on every append and answers queries directly.
+func (sg *Segment) Sealed() bool { return sg.sealed }
+
+// Store exposes the segment's underlying index (shared, read-only).
+func (sg *Segment) Store() *Store { return sg.s }
+
+// SegmentID formats the conventional stable segment identifier for the
+// n-th sealed segment of a dataset.
+func SegmentID(n int) string { return fmt.Sprintf("seg-%05d", n) }
+
+// SegmentInfo is one manifest row: the identity and extent of a segment.
+type SegmentInfo struct {
+	ID        string `json:"id"`
+	StartClip int    `json:"start_clip"`
+	Clips     int    `json:"clips"`
+	Tracks    int    `json:"tracks"`
+	Sealed    bool   `json:"sealed"`
+}
+
+// Manifest describes a sharded dataset: its name, clip geometry, and the
+// ordered segment list that tiles [0, Clips). It is the registry's unit of
+// dataset metadata and what a replica serves from a directory of shipped
+// segments.
+type Manifest struct {
+	Dataset  string        `json:"dataset"`
+	Context  query.Context `json:"context"`
+	Clips    int           `json:"clips"`
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// SplitSegments cuts a dataset's clips into sealed segments of at most
+// clipsPerSeg clips each (the last may be shorter), with conventional ids.
+// clipsPerSeg <= 0 yields a single segment. An empty dataset yields no
+// segments.
+func SplitSegments(perClip [][]*query.Track, ctx query.Context, clipsPerSeg int) []*Segment {
+	if len(perClip) == 0 {
+		return nil
+	}
+	if clipsPerSeg <= 0 {
+		clipsPerSeg = len(perClip)
+	}
+	var segs []*Segment
+	for start := 0; start < len(perClip); start += clipsPerSeg {
+		end := start + clipsPerSeg
+		if end > len(perClip) {
+			end = len(perClip)
+		}
+		segs = append(segs, NewSegment(SegmentID(len(segs)), start, perClip[start:end], ctx))
+	}
+	return segs
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"otif/internal/geom"
+	"otif/internal/parallel"
+	"otif/internal/query"
+)
+
+// Sharded answers every Store query over an ordered list of segments by
+// scatter-gather: fan the query out across segments (in parallel), then
+// merge deterministically. Because every dataset-wide query returns one
+// result element per clip and segments tile the clip range contiguously,
+// the merge is concatenation in segment order — which makes every answer
+// bit-identical to the same query over one monolithic Store, a property
+// the differential tests pin for K ∈ {1,2,3,7} splits.
+//
+// Sealed segments route through the shared result cache (keyed by segment
+// id + canonical query string); the open tail segment of a Live store is
+// always recomputed. A Sharded is immutable after construction and safe
+// for concurrent queries.
+type Sharded struct {
+	dataset string
+	ctx     query.Context
+	segs    []*Segment
+	starts  []int // starts[i] == segs[i].start, ascending
+	nclips  int
+	cache   *Cache
+}
+
+// NewSharded assembles segments into one queryable dataset. Segments must
+// tile [0, clips) contiguously in order and share the dataset's clip
+// geometry. cache may be nil to disable result caching.
+func NewSharded(dataset string, ctx query.Context, segs []*Segment, cache *Cache) (*Sharded, error) {
+	sh := &Sharded{dataset: dataset, ctx: ctx, segs: segs, starts: make([]int, len(segs)), cache: cache}
+	next := 0
+	for i, sg := range segs {
+		if sg.start != next {
+			return nil, fmt.Errorf("store: segment %q starts at clip %d, want %d (segments must tile the clip range)", sg.id, sg.start, next)
+		}
+		if sg.s.ctx != ctx {
+			return nil, fmt.Errorf("store: segment %q context %+v differs from dataset context %+v", sg.id, sg.s.ctx, ctx)
+		}
+		sh.starts[i] = sg.start
+		next += sg.Clips()
+	}
+	sh.nclips = next
+	return sh, nil
+}
+
+// Dataset returns the dataset name the shard set serves.
+func (sh *Sharded) Dataset() string { return sh.dataset }
+
+// Segments returns the ordered segment list (shared, read-only).
+func (sh *Sharded) Segments() []*Segment { return sh.segs }
+
+// Cache returns the result cache (nil when caching is disabled).
+func (sh *Sharded) Cache() *Cache { return sh.cache }
+
+// Manifest describes the shard set: dataset identity plus one row per
+// segment.
+func (sh *Sharded) Manifest() Manifest {
+	m := Manifest{Dataset: sh.dataset, Context: sh.ctx, Clips: sh.nclips, Segments: make([]SegmentInfo, len(sh.segs))}
+	for i, sg := range sh.segs {
+		tracks := 0
+		for c := 0; c < sg.s.Clips(); c++ {
+			tracks += len(sg.s.Tracks(c))
+		}
+		m.Segments[i] = SegmentInfo{ID: sg.id, StartClip: sg.start, Clips: sg.Clips(), Tracks: tracks, Sealed: sg.sealed}
+	}
+	return m
+}
+
+// Snapshot makes an immutable Sharded its own Provider.
+func (sh *Sharded) Snapshot() Querier { return sh }
+
+// Context returns the dataset clip geometry.
+func (sh *Sharded) Context() query.Context { return sh.ctx }
+
+// Clips returns the total clip count across segments.
+func (sh *Sharded) Clips() int { return sh.nclips }
+
+// locate maps a dataset clip index to (segment, clip offset within it).
+func (sh *Sharded) locate(clip int) (*Segment, int) {
+	i := sort.SearchInts(sh.starts, clip+1) - 1
+	if i < 0 || clip >= sh.starts[i]+sh.segs[i].Clips() {
+		panic(fmt.Sprintf("store: clip %d out of range [0,%d)", clip, sh.nclips))
+	}
+	return sh.segs[i], clip - sh.starts[i]
+}
+
+// Tracks returns one clip's track slice (shared, read-only), routed to its
+// segment.
+func (sh *Sharded) Tracks(clip int) []*query.Track {
+	sg, off := sh.locate(clip)
+	return sg.s.Tracks(off)
+}
+
+// VisibleBoxes routes the single-clip query to the owning segment. Point
+// lookups are not cached: the cache holds whole-segment answers.
+func (sh *Sharded) VisibleBoxes(clip int, cat string, frameIdx int) ([]geom.Rect, []*query.Track) {
+	sg, off := sh.locate(clip)
+	return sg.s.VisibleBoxes(off, cat, frameIdx)
+}
+
+// scatter fans run across the segments in parallel and concatenates the
+// per-segment results in segment order — the deterministic merge. Sealed
+// segments answer through the result cache under key; cached values are
+// shared read-only slices.
+func scatter[E any](sh *Sharded, key string, run func(*Store) []E) []E {
+	parts := make([][]E, len(sh.segs))
+	parallel.For(len(sh.segs), func(i int) {
+		sg := sh.segs[i]
+		if sg.sealed && sh.cache != nil {
+			parts[i] = sh.cache.Get(sg.id, key, func() any { return run(sg.s) }).([]E)
+		} else {
+			parts[i] = run(sg.s)
+		}
+	})
+	out := make([]E, 0, sh.nclips)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Canonical query keys: method name plus every parameter, rendered with
+// %v (shortest float form — deterministic for identical values). Segment
+// ids are stable across processes, so replicas serving the same shipped
+// segments share key space.
+
+func (sh *Sharded) CountTracks(cat string) []int {
+	return scatter(sh, "count|"+cat, func(s *Store) []int { return s.CountTracks(cat) })
+}
+
+func (sh *Sharded) PathBreakdown(cat string, movements []query.Movement, maxEndpointDist float64) []map[string]int {
+	key := fmt.Sprintf("breakdown|%s|%v|%v", cat, maxEndpointDist, movements)
+	return scatter(sh, key, func(s *Store) []map[string]int { return s.PathBreakdown(cat, movements, maxEndpointDist) })
+}
+
+func (sh *Sharded) LimitQuery(cat string, pred query.FramePredicate, limit, minSepFrames int) [][]query.FrameMatch {
+	// Limit semantics are per clip (each clip's sweep stops at limit), so
+	// per-segment execution matches the single store exactly.
+	key := fmt.Sprintf("limit|%s|%T%+v|%d|%d", cat, pred, pred, limit, minSepFrames)
+	return scatter(sh, key, func(s *Store) [][]query.FrameMatch { return s.LimitQuery(cat, pred, limit, minSepFrames) })
+}
+
+func (sh *Sharded) AvgVisible(cat string) []float64 {
+	return scatter(sh, "avgvisible|"+cat, func(s *Store) []float64 { return s.AvgVisible(cat) })
+}
+
+func (sh *Sharded) BusyFrames(catA string, nA int, catB string, nB int) [][]int {
+	key := fmt.Sprintf("busy|%s|%d|%s|%d", catA, nA, catB, nB)
+	return scatter(sh, key, func(s *Store) [][]int { return s.BusyFrames(catA, nA, catB, nB) })
+}
+
+func (sh *Sharded) CoOccurrences(cat string, dist float64) []int {
+	key := fmt.Sprintf("cooccur|%s|%v", cat, dist)
+	return scatter(sh, key, func(s *Store) []int { return s.CoOccurrences(cat, dist) })
+}
+
+func (sh *Sharded) DwellTime(cat string, region geom.Polygon) []map[int]float64 {
+	key := fmt.Sprintf("dwell|%s|%v", cat, region)
+	return scatter(sh, key, func(s *Store) []map[int]float64 { return s.DwellTime(cat, region) })
+}
+
+func (sh *Sharded) HardBraking(decelThreshold float64) [][]*query.Track {
+	key := fmt.Sprintf("braking|%v", decelThreshold)
+	return scatter(sh, key, func(s *Store) [][]*query.Track { return s.HardBraking(decelThreshold) })
+}
+
+func (sh *Sharded) Speeding(threshold float64) [][]*query.Track {
+	key := fmt.Sprintf("speeding|%v", threshold)
+	return scatter(sh, key, func(s *Store) [][]*query.Track { return s.Speeding(threshold) })
+}
+
+var (
+	_ Querier  = (*Sharded)(nil)
+	_ Provider = (*Sharded)(nil)
+)

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"otif/internal/geom"
+	"otif/internal/query"
+)
+
+// shardedFixture builds a randomized 7-clip dataset (with an empty and a
+// tiny clip mixed in) plus the monolithic reference store.
+func shardedFixture(seed int64) ([][]*query.Track, *Store, query.Context, *rand.Rand) {
+	ctx := testCtx()
+	r := rand.New(rand.NewSource(seed))
+	perClip := [][]*query.Track{
+		genTracks(r, 5+r.Intn(40), ctx.Frames, ctx),
+		genTracks(r, r.Intn(10), ctx.Frames, ctx),
+		nil, // empty clip
+		genTracks(r, 20, ctx.Frames, ctx),
+		genTracks(r, 1, ctx.Frames, ctx),
+		genTracks(r, 15+r.Intn(15), ctx.Frames, ctx),
+		genTracks(r, 8, ctx.Frames, ctx),
+	}
+	return perClip, New(perClip, ctx), ctx, r
+}
+
+// TestShardedDifferential is the scatter-gather acceptance test: for every
+// split K ∈ {1,2,3,7} of a 7-clip dataset, with the result cache off, on,
+// and warm, every query builder terminal over the Sharded store must be
+// element-for-element identical (reflect.DeepEqual over the full result
+// structures) to the same query over one monolithic Store.
+func TestShardedDifferential(t *testing.T) {
+	movements := []query.Movement{
+		{Name: "a", Path: geom.Path{{X: 0, Y: 0}, {X: 640, Y: 360}}},
+		{Name: "b", Path: geom.Path{{X: 640, Y: 0}, {X: 0, Y: 360}}},
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		perClip, mono, ctx, r := shardedFixture(seed)
+		region := randRegion(r, ctx)
+		dist := 40 + r.Float64()*100
+		preds := []query.FramePredicate{
+			query.CountPredicate{N: 1 + r.Intn(4)},
+			query.RegionPredicate{Region: randRegion(r, ctx), N: 1 + r.Intn(3)},
+			query.HotSpotPredicate{Radius: 30 + r.Float64()*80, N: 2},
+		}
+
+		// clipsPerSeg 7,4,3,1 over 7 clips → K = 1, 2, 3, 7 segments.
+		for _, clipsPerSeg := range []int{7, 4, 3, 1} {
+			for _, cache := range []*Cache{nil, NewCache()} {
+				segs := SplitSegments(perClip, ctx, clipsPerSeg)
+				sh, err := NewSharded("test", ctx, segs, cache)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK := (len(perClip) + clipsPerSeg - 1) / clipsPerSeg
+				if len(sh.Segments()) != wantK {
+					t.Fatalf("clipsPerSeg=%d: %d segments, want %d", clipsPerSeg, len(sh.Segments()), wantK)
+				}
+				// Two rounds: the second answers cache-on queries from the
+				// cache, which must be just as bit-identical as computing.
+				for round := 0; round < 2; round++ {
+					check := func(what string, got, want any) {
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("seed %d clipsPerSeg=%d cache=%v round %d: %s diverged from monolithic store\n got: %v\nwant: %v",
+								seed, clipsPerSeg, cache != nil, round, what, got, want)
+						}
+					}
+					for _, cat := range []string{"", "car", "bus", "nosuch"} {
+						check("CountTracks("+cat+")", sh.CountTracks(cat), mono.CountTracks(cat))
+						check("AvgVisible("+cat+")", sh.AvgVisible(cat), mono.AvgVisible(cat))
+						check("CoOccurrences("+cat+")", sh.CoOccurrences(cat, dist), mono.CoOccurrences(cat, dist))
+						check("DwellTime("+cat+")", sh.DwellTime(cat, region), mono.DwellTime(cat, region))
+						for _, pred := range preds {
+							check("LimitQuery("+cat+")",
+								sh.LimitQuery(cat, pred, 3, 5), mono.LimitQuery(cat, pred, 3, 5))
+						}
+					}
+					check("PathBreakdown", sh.PathBreakdown("car", movements, 200), mono.PathBreakdown("car", movements, 200))
+					check("BusyFrames", sh.BusyFrames("car", 2, "bus", 1), mono.BusyFrames("car", 2, "bus", 1))
+					check("HardBraking", sh.HardBraking(250), mono.HardBraking(250))
+					check("Speeding", sh.Speeding(800), mono.Speeding(800))
+					for clip := 0; clip < len(perClip); clip++ {
+						check("Tracks", sh.Tracks(clip), mono.Tracks(clip))
+						for f := 0; f < ctx.Frames; f += 37 {
+							gb, go_ := sh.VisibleBoxes(clip, "car", f)
+							wb, wo := mono.VisibleBoxes(clip, "car", f)
+							check("VisibleBoxes boxes", gb, wb)
+							check("VisibleBoxes owners", go_, wo)
+						}
+					}
+				}
+				if cache != nil {
+					st := cache.Stats()
+					if st.Fills == 0 {
+						t.Fatalf("clipsPerSeg=%d: cache recorded no fills", clipsPerSeg)
+					}
+					if st.Hits == 0 {
+						t.Fatalf("clipsPerSeg=%d: second round recorded no cache hits", clipsPerSeg)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNewShardedValidation pins the tiling and context invariants: segments
+// that leave a gap, overlap, or disagree on clip geometry are rejected.
+func TestNewShardedValidation(t *testing.T) {
+	perClip, _, ctx, _ := shardedFixture(1)
+
+	segs := SplitSegments(perClip, ctx, 3)
+	if _, err := NewSharded("test", ctx, segs, nil); err != nil {
+		t.Fatalf("valid tiling rejected: %v", err)
+	}
+
+	// Gap: drop the middle segment.
+	gap := []*Segment{segs[0], segs[2]}
+	if _, err := NewSharded("test", ctx, gap, nil); err == nil {
+		t.Error("tiling with a gap accepted")
+	}
+
+	// Out of order.
+	swapped := []*Segment{segs[1], segs[0], segs[2]}
+	if _, err := NewSharded("test", ctx, swapped, nil); err == nil {
+		t.Error("out-of-order segments accepted")
+	}
+
+	// Context mismatch.
+	other := ctx
+	other.FPS++
+	bad := []*Segment{NewSegment(SegmentID(0), 0, perClip, other)}
+	if _, err := NewSharded("test", ctx, bad, nil); err == nil {
+		t.Error("segment with mismatched context accepted")
+	}
+}
+
+// TestShardedLocatePanics pins the out-of-range contract for point lookups.
+func TestShardedLocatePanics(t *testing.T) {
+	perClip, _, ctx, _ := shardedFixture(2)
+	sh, err := NewSharded("test", ctx, SplitSegments(perClip, ctx, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clip := range []int{-1, sh.Clips()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tracks(%d) did not panic", clip)
+				}
+			}()
+			sh.Tracks(clip)
+		}()
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"otif/internal/persist"
 	"otif/internal/query"
+	"otif/internal/store"
 )
 
 // SaveModels writes the pipeline's trained model bundle (theta_best,
@@ -40,6 +41,16 @@ func (ts *TrackSet) WriteTo(w io.Writer) (n int64, err error) {
 		Dataset: ts.Dataset,
 	})
 	return cw.n, err
+}
+
+// ExportSegments writes the track set as sealed segment files (OTIFSEG1,
+// one "<seg-id>.otifseg" per clipsPerSegment clips; <= 0 writes one
+// segment) into dir, creating it if needed. The files are self-describing
+// and deterministic: a replica started with otifd -segments-dir over them
+// answers every /v1/query/* request byte-identically to the exporting
+// process. It returns the written paths in segment order.
+func (ts *TrackSet) ExportSegments(dir string, clipsPerSegment int) ([]string, error) {
+	return store.ExportSegments(dir, ts.Dataset, ts.ctx, ts.PerClip, clipsPerSegment)
 }
 
 // TrackSetOption adjusts how a stored track set is loaded. Options exist

@@ -27,7 +27,7 @@ type TrackSet struct {
 	ctx query.Context
 
 	idxOnce sync.Once
-	idx     *store.Store
+	idx     store.Querier
 }
 
 // Track is one stored object track.
@@ -42,9 +42,11 @@ type FrameMatch = query.FrameMatch
 // Index returns the set's indexed track store, building it on first use.
 // The store holds a per-clip temporal interval index, a coarse spatial
 // grid over track extents and per-category postings lists; every TrackSet
-// query method and the otifd /query/* endpoints execute through it. The
-// returned store is safe for concurrent queries.
-func (ts *TrackSet) Index() *store.Store {
+// query method and the otifd /v1/query/* endpoints execute through it. The
+// returned Querier is safe for concurrent queries; for sets adopted from a
+// streaming ingest session it is the session's segmented store, otherwise
+// a monolithic index — both answer bit-identically.
+func (ts *TrackSet) Index() store.Querier {
 	ts.idxOnce.Do(func() {
 		ts.idx = store.New(ts.PerClip, ts.ctx)
 	})
